@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the JRS miss policy (reset vs decrement), the perceptron training
+//! threshold `T`, the training trigger, and the gating counter
+//! threshold PLn. Each bench also prints the quality metric the
+//! ablation affects, so `cargo bench` output doubles as an ablation
+//! report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perconf_core::{
+    ConfidenceEstimator, JrsConfig, JrsEstimator, MissPolicy, PerceptronCe, PerceptronCeConfig,
+};
+use perconf_experiments::common::{controller, perceptron, trace_eval, PredictorKind};
+use perconf_pipeline::{PipelineConfig, Simulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quality(ce: &mut dyn ConfidenceEstimator) -> (f64, f64) {
+    let wl = perconf_workload::spec2000_config("vpr").unwrap();
+    let mut p = PredictorKind::BimodalGshare.build();
+    let (cm, _) = trace_eval(&wl, p.as_mut(), ce, 20_000, 60_000, None);
+    (cm.pvn(), cm.spec())
+}
+
+fn jrs_miss_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-jrs-miss-policy");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    for policy in [MissPolicy::Reset, MissPolicy::Decrement] {
+        let mut probe = JrsEstimator::new(JrsConfig {
+            miss_policy: policy,
+            ..JrsConfig::default()
+        });
+        let (pvn, spec) = quality(&mut probe);
+        println!("jrs {policy:?}: PVN={:.0}% Spec={:.0}%", pvn * 100.0, spec * 100.0);
+        g.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                let mut ce = JrsEstimator::new(JrsConfig {
+                    miss_policy: policy,
+                    ..JrsConfig::default()
+                });
+                black_box(quality(&mut ce))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn perceptron_train_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-train-threshold");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    for t in [0i32, 14, 75, 150] {
+        let mut probe = PerceptronCe::new(PerceptronCeConfig {
+            train_threshold: t,
+            ..PerceptronCeConfig::default()
+        });
+        let (pvn, spec) = quality(&mut probe);
+        println!("T={t}: PVN={:.0}% Spec={:.0}%", pvn * 100.0, spec * 100.0);
+        g.bench_function(format!("T{t}"), |b| {
+            b.iter(|| {
+                let mut ce = PerceptronCe::new(PerceptronCeConfig {
+                    train_threshold: t,
+                    ..PerceptronCeConfig::default()
+                });
+                black_box(quality(&mut ce))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn gating_counter_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-pl-threshold");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("twolf").unwrap();
+    for pl in [1u32, 2, 3] {
+        g.bench_function(format!("PL{pl}"), |b| {
+            b.iter(|| {
+                let ctl = controller(PredictorKind::BimodalGshare, perceptron(0));
+                let mut sim = Simulation::new(PipelineConfig::deep().gated(pl), &wl, ctl);
+                sim.warmup(10_000);
+                black_box(sim.run(30_000).gated_cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn reversal_band(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-reversal-threshold");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("mcf").unwrap();
+    for rev in [30i32, 90, 150] {
+        g.bench_function(format!("rev{rev}"), |b| {
+            b.iter(|| {
+                let ctl = controller(
+                    PredictorKind::BimodalGshare,
+                    Box::new(PerceptronCe::new(PerceptronCeConfig {
+                        lambda: -30,
+                        reverse_lambda: Some(rev),
+                        ..PerceptronCeConfig::default()
+                    })),
+                );
+                let mut sim = Simulation::new(PipelineConfig::deep().gated(2), &wl, ctl);
+                sim.warmup(10_000);
+                let s = sim.run(30_000);
+                black_box((s.reversals_good, s.reversals_bad))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    jrs_miss_policy,
+    perceptron_train_threshold,
+    gating_counter_threshold,
+    reversal_band
+);
+criterion_main!(benches);

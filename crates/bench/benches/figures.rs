@@ -1,0 +1,113 @@
+//! Criterion benches for the figure experiments: the density
+//! collection of Figures 4–7, the combined gating+reversal machine of
+//! Figures 8–9, and the §5.4.2 latency study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perconf_core::{PerceptronCe, PerceptronCeConfig};
+use perconf_experiments::common::{controller, perceptron, PredictorKind, Scale};
+use perconf_experiments::figs::{self, Training};
+use perconf_pipeline::{PipelineConfig, Simulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig45_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4-5");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("cic-density-gcc", |b| {
+        b.iter(|| {
+            black_box(figs::run(
+                Training::CorrectIncorrect,
+                "gcc",
+                Scale::tiny(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn fig67_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6-7");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("tnt-density-gcc", |b| {
+        b.iter(|| black_box(figs::run(Training::TakenNotTaken, "gcc", Scale::tiny())));
+    });
+    g.finish();
+}
+
+fn fig8_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("mcf").unwrap();
+    g.bench_function("combined-gating-reversal-deep", |b| {
+        b.iter(|| {
+            let ctl = controller(
+                PredictorKind::BimodalGshare,
+                Box::new(PerceptronCe::new(PerceptronCeConfig::combined())),
+            );
+            let mut sim = Simulation::new(PipelineConfig::deep().gated(2), &wl, ctl);
+            sim.warmup(10_000);
+            let s = sim.run(30_000);
+            black_box((s.reversals_good, s.reversals_bad))
+        });
+    });
+    g.finish();
+}
+
+fn fig9_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("mcf").unwrap();
+    g.bench_function("combined-gating-reversal-wide", |b| {
+        b.iter(|| {
+            let ctl = controller(
+                PredictorKind::BimodalGshare,
+                Box::new(PerceptronCe::new(PerceptronCeConfig::combined())),
+            );
+            let mut sim = Simulation::new(PipelineConfig::wide().gated(2), &wl, ctl);
+            sim.warmup(10_000);
+            black_box(sim.run(30_000).ipc())
+        });
+    });
+    g.finish();
+}
+
+fn latency_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency-study");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("twolf").unwrap();
+    for lat in [1u32, 9] {
+        g.bench_function(format!("ce-latency-{lat}"), |b| {
+            b.iter(|| {
+                let ctl = controller(PredictorKind::BimodalGshare, perceptron(0));
+                let mut sim = Simulation::new(
+                    PipelineConfig::deep().gated(1).with_ce_latency(lat),
+                    &wl,
+                    ctl,
+                );
+                sim.warmup(10_000);
+                black_box(sim.run(30_000).gated_cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig45_bench,
+    fig67_bench,
+    fig8_bench,
+    fig9_bench,
+    latency_bench
+);
+criterion_main!(benches);

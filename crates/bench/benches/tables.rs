@@ -1,0 +1,150 @@
+//! Criterion benches that exercise the Table 2–6 reproduction
+//! pipelines at reduced scale — one group per paper table. These are
+//! regeneration harnesses as much as performance benches: each
+//! iteration runs the same code path `repro <table>` uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perconf_experiments::common::{
+    controller, jrs, perceptron, trace_eval, BaselineSet, PredictorKind, Scale,
+};
+use perconf_experiments::{table2, table4};
+use perconf_pipeline::{PipelineConfig, Simulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn table2_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("gcc").unwrap();
+    for (name, cfg) in table2::shapes() {
+        g.bench_function(format!("gcc-{name}"), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::with_defaults(cfg, &wl);
+                black_box(sim.run(20_000).wasted_execution_frac())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn table3_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("vpr").unwrap();
+    g.bench_function("jrs-lambda7", |b| {
+        b.iter(|| {
+            let mut p = PredictorKind::BimodalGshare.build();
+            let mut ce = jrs(7);
+            black_box(trace_eval(&wl, p.as_mut(), ce.as_mut(), 5_000, 30_000, None).0)
+        });
+    });
+    g.bench_function("perceptron-lambda0", |b| {
+        b.iter(|| {
+            let mut p = PredictorKind::BimodalGshare.build();
+            let mut ce = perceptron(0);
+            black_box(trace_eval(&wl, p.as_mut(), ce.as_mut(), 5_000, 30_000, None).0)
+        });
+    });
+    g.finish();
+}
+
+fn table4_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("twolf").unwrap();
+    g.bench_function("jrs-lambda7-pl2", |b| {
+        b.iter(|| {
+            let ctl = controller(PredictorKind::BimodalGshare, jrs(7));
+            let mut sim = Simulation::new(PipelineConfig::deep().gated(2), &wl, ctl);
+            sim.warmup(10_000);
+            black_box(sim.run(30_000).gated_cycles)
+        });
+    });
+    g.bench_function("perceptron-lambda0-pl1", |b| {
+        b.iter(|| {
+            let ctl = controller(PredictorKind::BimodalGshare, perceptron(0));
+            let mut sim = Simulation::new(PipelineConfig::deep().gated(1), &wl, ctl);
+            sim.warmup(10_000);
+            black_box(sim.run(30_000).gated_cycles)
+        });
+    });
+    g.finish();
+}
+
+fn table4_full_row(c: &mut Criterion) {
+    // One full Table 4 design point across all 12 benchmarks, at a
+    // very small scale — the shape of `repro table4`.
+    let mut g = c.benchmark_group("table4-row");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let scale = Scale::tiny();
+    g.bench_function("perceptron-lambda0-all-benchmarks", |b| {
+        b.iter(|| {
+            let baselines =
+                BaselineSet::build(PredictorKind::BimodalGshare, PipelineConfig::deep(), scale);
+            black_box(table4::run_point(&baselines, &|| perceptron(0), 1))
+        });
+    });
+    g.finish();
+}
+
+fn table5_bench(c: &mut Criterion) {
+    // The gshare-perceptron baseline of Table 5 on one benchmark.
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("gcc").unwrap();
+    g.bench_function("gshare-perceptron-gated", |b| {
+        b.iter(|| {
+            let ctl = controller(PredictorKind::GsharePerceptron, perceptron(-25));
+            let mut sim = Simulation::new(PipelineConfig::deep().gated(1), &wl, ctl);
+            sim.warmup(10_000);
+            black_box(sim.run(30_000).ipc())
+        });
+    });
+    g.finish();
+}
+
+fn table6_bench(c: &mut Criterion) {
+    // Size sensitivity: the cheapest and the default configuration.
+    use perconf_core::{PerceptronCe, PerceptronCeConfig};
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let wl = perconf_workload::spec2000_config("vpr").unwrap();
+    for (e, w, h) in [(128u32, 8u32, 32u32), (128, 8, 16)] {
+        let cfg = PerceptronCeConfig::sized(e, w, h);
+        g.bench_function(cfg.label(), |b| {
+            b.iter(|| {
+                let ctl = controller(
+                    PredictorKind::BimodalGshare,
+                    Box::new(PerceptronCe::new(cfg)),
+                );
+                let mut sim = Simulation::new(PipelineConfig::deep().gated(1), &wl, ctl);
+                sim.warmup(10_000);
+                black_box(sim.run(30_000).gated_cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table2_bench,
+    table3_bench,
+    table4_bench,
+    table4_full_row,
+    table5_bench,
+    table6_bench
+);
+criterion_main!(benches);

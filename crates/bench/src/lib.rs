@@ -1,0 +1,13 @@
+//! Criterion benchmark harness for the perconf workspace.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `tables` — one group per paper table (2–6), running the same code
+//!   paths the `repro` binary uses at reduced scale;
+//! * `figures` — Figures 4–9 and the §5.4.2 latency study;
+//! * `micro` — predictor/estimator lookup+train throughput, workload
+//!   generation rate, cache access rate, simulator cycle throughput.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

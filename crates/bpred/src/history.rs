@@ -1,0 +1,124 @@
+use serde::{Deserialize, Serialize};
+
+/// A global branch-history register of up to 64 bits.
+///
+/// Bit 0 holds the most recent branch outcome (1 = taken). The
+/// simulator owns one `GlobalHistory`, pushes each resolved correct-path
+/// outcome into it, and hands [`snapshot`](Self::snapshot)s to the
+/// predictor and confidence estimator at lookup time; the same snapshot
+/// is replayed at training time.
+///
+/// # Examples
+///
+/// ```
+/// use perconf_bpred::GlobalHistory;
+///
+/// let mut h = GlobalHistory::new(4);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// assert_eq!(h.snapshot(), 0b101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalHistory {
+    bits: u64,
+    len: u32,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero history of `len` bits (`1..=64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(len: u32) -> Self {
+        assert!((1..=64).contains(&len), "history length must be 1..=64");
+        Self { bits: 0, len }
+    }
+
+    /// Number of history bits tracked.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Returns `true` if the register tracks zero bits (never; the
+    /// constructor requires at least one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shifts in one outcome (1 = taken) as the new bit 0.
+    pub fn push(&mut self, taken: bool) {
+        self.bits = ((self.bits << 1) | u64::from(taken)) & self.mask();
+    }
+
+    /// Current history value, masked to `len` bits.
+    #[must_use]
+    pub fn snapshot(&self) -> u64 {
+        self.bits
+    }
+
+    /// Replaces the whole register (used to repair history after a
+    /// misprediction squash).
+    pub fn restore(&mut self, bits: u64) {
+        self.bits = bits & self.mask();
+    }
+
+    fn mask(&self) -> u64 {
+        if self.len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_in_at_bit_zero() {
+        let mut h = GlobalHistory::new(8);
+        h.push(true);
+        assert_eq!(h.snapshot(), 1);
+        h.push(false);
+        assert_eq!(h.snapshot(), 0b10);
+        h.push(true);
+        assert_eq!(h.snapshot(), 0b101);
+    }
+
+    #[test]
+    fn history_wraps_at_length() {
+        let mut h = GlobalHistory::new(2);
+        h.push(true);
+        h.push(true);
+        h.push(false);
+        assert_eq!(h.snapshot(), 0b10);
+    }
+
+    #[test]
+    fn restore_masks() {
+        let mut h = GlobalHistory::new(4);
+        h.restore(0xFF);
+        assert_eq!(h.snapshot(), 0xF);
+    }
+
+    #[test]
+    fn full_width_history() {
+        let mut h = GlobalHistory::new(64);
+        for _ in 0..100 {
+            h.push(true);
+        }
+        assert_eq!(h.snapshot(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn oversized_history_panics() {
+        let _ = GlobalHistory::new(65);
+    }
+}

@@ -1,0 +1,59 @@
+/// Common interface of all direction predictors.
+///
+/// `predict` is a side-effect-free lookup; `train` applies the
+/// non-speculative update at retirement. Both take the global-history
+/// snapshot that was (or will be, for `predict`) live at fetch time, so
+/// implementations never have to manage speculative history repair
+/// themselves.
+///
+/// The trait is object-safe; the pipeline simulator holds a
+/// `Box<dyn BranchPredictor>`.
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc` given the global
+    /// history `hist` (bit 0 = most recent outcome, 1 = taken).
+    fn predict(&self, pc: u64, hist: u64) -> bool;
+
+    /// Trains the predictor with the architectural outcome `taken`,
+    /// using the same history snapshot that produced the prediction.
+    fn train(&mut self, pc: u64, hist: u64, taken: bool);
+
+    /// Short, stable display name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Storage budget in bits (used to check the paper's "equal
+    /// storage" comparisons).
+    fn storage_bits(&self) -> u64;
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn predict(&self, pc: u64, hist: u64) -> bool {
+        (**self).predict(pc, hist)
+    }
+
+    fn train(&mut self, pc: u64, hist: u64, taken: bool) {
+        (**self).train(pc, hist, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bimodal;
+
+    #[test]
+    fn trait_is_object_safe_and_boxable() {
+        let mut p: Box<dyn BranchPredictor> = Box::new(Bimodal::new(4));
+        let _ = p.predict(0x40, 0);
+        p.train(0x40, 0, true);
+        assert_eq!(p.name(), "bimodal");
+        assert!(p.storage_bits() > 0);
+    }
+}

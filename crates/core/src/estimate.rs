@@ -1,0 +1,122 @@
+use serde::{Deserialize, Serialize};
+
+/// Everything an estimator may look at when assigning confidence to a
+/// branch prediction at fetch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EstimateCtx {
+    /// Branch instruction address.
+    pub pc: u64,
+    /// Global-history snapshot at prediction time (bit 0 = most
+    /// recent outcome, 1 = taken).
+    pub history: u64,
+    /// The direction the branch predictor produced (pre-reversal).
+    /// The *enhanced* JRS indexing folds this into its table index.
+    pub predicted_taken: bool,
+}
+
+/// Three-way confidence classification.
+///
+/// Binary estimators only ever produce `High` or `WeakLow`; the
+/// perceptron estimator's multi-valued output additionally separates
+/// `StrongLow`, the region where reversing the prediction wins
+/// (paper §5.3, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfidenceClass {
+    /// Prediction is probably correct; speculate freely.
+    High,
+    /// Prediction is suspect; count it toward pipeline gating.
+    WeakLow,
+    /// Prediction is probably wrong; reverse it.
+    StrongLow,
+}
+
+/// The result of one confidence lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Raw multi-valued estimator output (perceptron dot product, or
+    /// a counter value mapped onto an integer scale for table-based
+    /// estimators). Larger means *less* confident for every estimator
+    /// in this crate, so thresholds compose uniformly.
+    pub raw: i32,
+    /// The classification derived from `raw` by the estimator's
+    /// thresholds.
+    pub class: ConfidenceClass,
+}
+
+impl Estimate {
+    /// Returns `true` for both low-confidence classes.
+    #[must_use]
+    pub fn is_low(&self) -> bool {
+        self.class != ConfidenceClass::High
+    }
+}
+
+/// Common interface of all branch confidence estimators.
+///
+/// `estimate` is a pure lookup performed in the fetch stage; `train`
+/// is applied non-speculatively at retirement (paper §3), passing back
+/// the [`Estimate`] produced at fetch so the estimator can see its own
+/// earlier decision (the perceptron training rule needs both `y` and
+/// the confidence `c` assigned in the front end).
+///
+/// The trait is object-safe; the pipeline simulator stores a
+/// `Box<dyn ConfidenceEstimator>`.
+pub trait ConfidenceEstimator {
+    /// Assigns confidence to the prediction described by `ctx`.
+    fn estimate(&self, ctx: &EstimateCtx) -> Estimate;
+
+    /// Trains with the retirement outcome. `mispredicted` refers to
+    /// the *underlying predictor's* direction (pre-reversal), matching
+    /// the paper's single-structure design.
+    fn train(&mut self, ctx: &EstimateCtx, est: Estimate, mispredicted: bool);
+
+    /// Short, stable display name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Storage budget in bits (the paper equalises JRS and perceptron
+    /// at 4 KB).
+    fn storage_bits(&self) -> u64;
+}
+
+impl<C: ConfidenceEstimator + ?Sized> ConfidenceEstimator for Box<C> {
+    fn estimate(&self, ctx: &EstimateCtx) -> Estimate {
+        (**self).estimate(ctx)
+    }
+
+    fn train(&mut self, ctx: &EstimateCtx, est: Estimate, mispredicted: bool) {
+        (**self).train(ctx, est, mispredicted);
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_low_covers_both_low_classes() {
+        let mk = |class| Estimate { raw: 0, class };
+        assert!(!mk(ConfidenceClass::High).is_low());
+        assert!(mk(ConfidenceClass::WeakLow).is_low());
+        assert!(mk(ConfidenceClass::StrongLow).is_low());
+    }
+
+    #[test]
+    fn boxed_estimator_delegates() {
+        let ce: Box<dyn ConfidenceEstimator> = Box::new(crate::AlwaysHigh);
+        let ctx = EstimateCtx {
+            pc: 4,
+            history: 0,
+            predicted_taken: false,
+        };
+        assert_eq!(ce.estimate(&ctx).class, ConfidenceClass::High);
+        assert_eq!(ce.name(), "always-high");
+    }
+}

@@ -1,0 +1,44 @@
+//! Calibration report: measured branch mispredicts per 1000 uops for
+//! every benchmark under the baseline hybrid predictor, against the
+//! paper's Table 2 target column. Run after any change to the workload
+//! behaviour models or mixtures (see DESIGN.md §2).
+
+use perconf_bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf_workload::{spec2000, WorkloadGenerator};
+
+fn main() {
+    println!("{:<10} {:>8} {:>8} {:>6}", "bench", "mpku", "target", "ratio");
+    for cfg in spec2000() {
+        let mut g = WorkloadGenerator::new(&cfg);
+        let mut p = baseline_bimodal_gshare();
+        let mut hist = 0u64;
+        let mut uops = 0u64;
+        let mut late_uops = 0u64;
+        let mut miss = 0u64;
+        let warm = 600_000u64;
+        let total = 1_500_000u64;
+        while uops < total {
+            let u = g.next_uop();
+            uops += 1;
+            if uops > warm {
+                late_uops += 1;
+            }
+            if let Some(b) = u.branch {
+                let pred = p.predict(b.pc, hist);
+                p.train(b.pc, hist, b.taken);
+                hist = (hist << 1) | u64::from(b.taken);
+                if pred != b.taken && uops > warm {
+                    miss += 1;
+                }
+            }
+        }
+        let mpku = miss as f64 * 1000.0 / late_uops as f64;
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>6.2}",
+            cfg.name,
+            mpku,
+            cfg.target_mpku,
+            mpku / cfg.target_mpku
+        );
+    }
+}

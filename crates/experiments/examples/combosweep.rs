@@ -1,0 +1,42 @@
+//! Threshold sweep for the combined gating + reversal configuration
+//! (paper §5.5): evaluates (reverse threshold, gate λ, PLn) triples
+//! and prints U/P and reversal quality. This sweep chose the defaults
+//! in `PerceptronCeConfig::combined()` (see EXPERIMENTS.md, Figs 8–9).
+
+use perconf_core::{PerceptronCe, PerceptronCeConfig};
+use perconf_experiments::common::{controller, BaselineSet, PredictorKind, Scale};
+use perconf_pipeline::PipelineConfig;
+
+fn main() {
+    let scale = Scale::quick();
+    let baselines = BaselineSet::build(PredictorKind::BimodalGshare, PipelineConfig::deep(), scale);
+    // (reverse_lambda, gate_lambda, pl)
+    for (rev, lam, pl) in [
+        (Some(90), -20, 2),
+        (Some(90), -30, 2),
+        (Some(120), -20, 2),
+        (Some(90), -40, 2),
+        (Some(120), -40, 2),
+        (Some(90), -20, 3),
+        (Some(90), -40, 3),
+    ] {
+        let (mean, per) = baselines.evaluate(baselines.pipe().gated(pl), || {
+            controller(
+                PredictorKind::BimodalGshare,
+                Box::new(PerceptronCe::new(PerceptronCeConfig {
+                    lambda: lam,
+                    reverse_lambda: rev.map(|r| r.max(lam)),
+                    ..Default::default()
+                })),
+            )
+        });
+        let good: u64 = per.iter().map(|(_, v)| v.reversals_good).sum();
+        let bad: u64 = per.iter().map(|(_, v)| v.reversals_bad).sum();
+        println!(
+            "rev={:?} λ={} PL{}: U(exec)={:+.1}% U(fetch)={:+.1}% P={:+.1}% rev {}:{}",
+            rev, lam, pl,
+            mean.u_executed * 100.0, mean.u_fetched * 100.0, mean.perf_loss * 100.0,
+            good, bad
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Pipeline-shape diagnostic: IPC, waste, resolution delay, ROB
+//! occupancy, stall breakdown and cache hit rates for the shallow vs
+//! deep machines on one benchmark. The tool behind the drain-limited
+//! backend analysis in DESIGN.md §7.
+
+use perconf_pipeline::{PipelineConfig, Simulation};
+
+fn main() {
+    for (name, cfg) in [("shallow", PipelineConfig::shallow()), ("deep", PipelineConfig::deep())] {
+        let wl = perconf_workload::spec2000_config("vpr").unwrap();
+        let mut sim = Simulation::with_defaults(cfg, &wl);
+        sim.warmup(50_000);
+        let s = sim.run(100_000).clone();
+        println!("{name}: ipc={:.2} waste={:.2} mpku={:.1} squashes={} fw/sq={:.0} ew/sq={:.0} resdelay={:.0} rob={:.0}",
+            s.ipc(), s.wasted_execution_frac(), s.mpku(), s.squashes,
+            s.fetched_wrong as f64 / s.squashes as f64,
+            s.executed_wrong as f64 / s.squashes as f64,
+            s.resolution_delay_sum as f64 / s.squashes as f64,
+            s.rob_occupancy_sum as f64 / s.cycles as f64);
+        let c = s.cycles as f64;
+        println!("  stalls: empty={:.2} deps={:.2} fu={:.2} load={:.2} exec={:.2}",
+            s.stall_empty as f64 / c, s.stall_deps as f64 / c, s.stall_fu as f64 / c,
+            s.stall_load as f64 / c, s.stall_exec as f64 / c);
+        let l1 = sim.mem().l1();
+        let l2 = sim.mem().l2();
+        println!("  l1: {}/{} ({:.3} miss)  l2: {}/{} ({:.3} miss)",
+            l1.hits(), l1.misses(), l1.misses() as f64 / (l1.hits()+l1.misses()) as f64,
+            l2.hits(), l2.misses(), l2.misses() as f64 / (l2.hits()+l2.misses()).max(1) as f64);
+    }
+}
+// (extended below by re-write)

@@ -1,0 +1,50 @@
+//! Predictor diagnostic: per-behaviour-class misprediction rates of
+//! the baseline hybrid on several benchmarks (trace-level, no
+//! pipeline).
+
+use perconf_bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf_workload::{BehaviorClass, WorkloadGenerator};
+
+fn main() {
+    for name in ["vpr", "gcc", "mcf", "vortex"] {
+        let cfg = perconf_workload::spec2000_config(name).unwrap();
+        let mut g = WorkloadGenerator::new(&cfg);
+        let classes: Vec<BehaviorClass> = g.program().sites.iter().map(|s| s.spec.class()).collect();
+        let mut p = baseline_bimodal_gshare();
+        let mut hist = 0u64;
+        let mut miss = [0u64; 5];
+        let mut tot = [0u64; 5];
+        let mut branches = 0u64;
+        let mut misses_late = 0u64;
+        let mut late_branches = 0u64;
+        let total = 600_000;
+        while branches < total {
+            let u = g.next_uop();
+            if let Some(b) = u.branch {
+                branches += 1;
+                let pred = p.predict(b.pc, hist);
+                p.train(b.pc, hist, b.taken);
+                hist = (hist << 1) | u64::from(b.taken);
+                let c = classes[b.site as usize] as usize;
+                tot[c] += 1;
+                if pred != b.taken {
+                    miss[c] += 1;
+                    if branches > total / 2 {
+                        misses_late += 1;
+                    }
+                }
+                if branches > total / 2 {
+                    late_branches += 1;
+                }
+            }
+        }
+        let names = ["Biased", "Loop", "Linear", "Xor", "Random"];
+        print!("{name}: late_rate={:.3} ", misses_late as f64 / late_branches as f64);
+        for i in 0..5 {
+            if tot[i] > 0 {
+                print!("{}={:.3}({:.2}) ", names[i], miss[i] as f64 / tot[i] as f64, tot[i] as f64 / branches as f64);
+            }
+        }
+        println!();
+    }
+}

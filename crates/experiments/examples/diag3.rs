@@ -1,0 +1,48 @@
+//! Oracle predictability check: best achievable accuracy of any
+//! 9-bit-history table predictor on the linear-history sites,
+//! distinguishing generator-side randomness from predictor-side
+//! aliasing.
+
+use perconf_workload::{BehaviorClass, WorkloadGenerator};
+use std::collections::HashMap;
+
+fn main() {
+    let cfg = perconf_workload::spec2000_config("vpr").unwrap();
+    let mut g = WorkloadGenerator::new(&cfg);
+    let classes: Vec<BehaviorClass> = g.program().sites.iter().map(|s| s.spec.class()).collect();
+    // Oracle predictor: per (site, hist9) majority vote. Measures the
+    // best any 9-bit-history table predictor could do.
+    let mut table: HashMap<(u32, u16), (u32, u32)> = HashMap::new();
+    let mut hist = 0u64;
+    let mut branches = 0u64;
+    let mut lin_miss = 0u64;
+    let mut lin_tot = 0u64;
+    let mut lin_patterns: HashMap<u32, std::collections::HashSet<u16>> = HashMap::new();
+    while branches < 600_000 {
+        let u = g.next_uop();
+        if let Some(b) = u.branch {
+            branches += 1;
+            let h9 = (hist & 0x1FF) as u16;
+            if classes[b.site as usize] == BehaviorClass::LinearHistory {
+                lin_tot += 1;
+                let e = table.entry((b.site, h9)).or_insert((0, 0));
+                // predict majority-so-far
+                let pred = e.0 >= e.1;
+                if branches > 300_000 && pred != b.taken {
+                    lin_miss += 1;
+                }
+                if b.taken { e.0 += 1 } else { e.1 += 1 }
+                lin_patterns.entry(b.site).or_default().insert(h9);
+            }
+            hist = (hist << 1) | u64::from(b.taken);
+        }
+    }
+    let avg_patterns: f64 = lin_patterns.values().map(|s| s.len() as f64).sum::<f64>()
+        / lin_patterns.len() as f64;
+    println!(
+        "linear sites: oracle-late miss={:.3} avg distinct hist9 per site={:.0} total pairs={}",
+        lin_miss as f64 / (lin_tot as f64 / 2.0),
+        avg_patterns,
+        table.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Gshare history-length sweep on one benchmark, per behaviour class —
+//! the measurement that set the baseline's 8-bit gshare history.
+
+use perconf_bpred::{BranchPredictor, Gshare};
+use perconf_workload::{BehaviorClass, WorkloadGenerator};
+
+fn main() {
+    for hist_bits in [8, 10, 12, 16] {
+        let cfg = perconf_workload::spec2000_config("vpr").unwrap();
+        let mut g = WorkloadGenerator::new(&cfg);
+        let classes: Vec<BehaviorClass> =
+            g.program().sites.iter().map(|s| s.spec.class()).collect();
+        let mut p = Gshare::new(16, hist_bits);
+        let mut hist = 0u64;
+        let mut branches = 0u64;
+        let mut lin = (0u64, 0u64);
+        let mut xor = (0u64, 0u64);
+        let mut all = (0u64, 0u64);
+        while branches < 600_000 {
+            let u = g.next_uop();
+            if let Some(b) = u.branch {
+                branches += 1;
+                let pred = p.predict(b.pc, hist);
+                p.train(b.pc, hist, b.taken);
+                hist = (hist << 1) | u64::from(b.taken);
+                if branches > 300_000 {
+                    let miss = u64::from(pred != b.taken);
+                    all.0 += miss;
+                    all.1 += 1;
+                    match classes[b.site as usize] {
+                        BehaviorClass::LinearHistory => {
+                            lin.0 += miss;
+                            lin.1 += 1;
+                        }
+                        BehaviorClass::XorHistory => {
+                            xor.0 += miss;
+                            xor.1 += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        println!(
+            "gshare h{hist_bits}: all={:.3} linear={:.3} xor={:.3}",
+            all.0 as f64 / all.1 as f64,
+            lin.0 as f64 / lin.1 as f64,
+            xor.0 as f64 / xor.1 as f64
+        );
+    }
+}

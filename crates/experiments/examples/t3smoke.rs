@@ -1,0 +1,9 @@
+//! Quick Table 3 smoke run (the `repro table3` driver at quick scale),
+//! used during calibration iterations.
+
+use perconf_experiments::{table3, Scale};
+fn main() {
+    let t = table3::run(Scale::quick());
+    println!("{}", t.render());
+    println!("perceptron PVN dominates JRS: {}", t.perceptron_pvn_dominates());
+}

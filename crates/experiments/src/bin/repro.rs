@@ -1,0 +1,217 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]
+//!
+//! experiments: table2 table3 table4 table5 table6
+//!              fig4 fig5 fig6 fig7 fig8 fig9 latency all
+//! ```
+
+use perconf_experiments::{energy, fig89, figs, latency, table2, table3, table4, table5, table6, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    json_dir: Option<PathBuf>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = None;
+    let mut scale = Scale::quick();
+    let mut json_dir = None;
+    let mut csv_dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::full(),
+            "--tiny" => scale = Scale::tiny(),
+            "--json" => {
+                json_dir = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a directory")?,
+                ));
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(it.next().ok_or("--csv needs a directory")?));
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        experiment: experiment.ok_or("missing experiment name")?,
+        scale,
+        json_dir,
+        csv_dir,
+    })
+}
+
+fn save_json(dir: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
+    if let Some(dir) = dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+        }
+    }
+}
+
+fn save_csv(dir: &Option<PathBuf>, name: &str, body: &str) {
+    save_file(dir, &format!("{name}.csv"), body);
+}
+
+fn save_file(dir: &Option<PathBuf>, file: &str, body: &str) {
+    if let Some(dir) = dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(file);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+fn run_one(name: &str, args: &Args) -> Result<(), String> {
+    let scale = args.scale;
+    match name {
+        "table2" => {
+            let t = table2::run(scale);
+            println!("{}", t.render());
+            save_json(&args.json_dir, "table2", &t);
+        }
+        "table3" => {
+            let t = table3::run(scale);
+            println!("{}", t.render());
+            println!(
+                "headline (perceptron PVN beats JRS everywhere): {}",
+                t.perceptron_pvn_dominates()
+            );
+            save_json(&args.json_dir, "table3", &t);
+        }
+        "table4" => {
+            let t = table4::run(scale);
+            println!("{}", t.render());
+            save_json(&args.json_dir, "table4", &t);
+        }
+        "table5" => {
+            let t = table5::run(scale);
+            println!("{}", t.render());
+            println!(
+                "better predictor leaves less opportunity: {}",
+                t.better_predictor_reduces_opportunity()
+            );
+            save_json(&args.json_dir, "table5", &t);
+        }
+        "table6" => {
+            let t = table6::run(scale);
+            println!("{}", t.render());
+            println!("narrow weights hurt most: {}", t.narrow_weights_hurt_most());
+            save_json(&args.json_dir, "table6", &t);
+        }
+        "fig4" | "fig5" => {
+            let f = figs::run(figs::Training::CorrectIncorrect, "gcc", scale);
+            println!("{}", f.render());
+            let (full, zoom) = f.to_csv();
+            save_csv(&args.csv_dir, "fig4_cic_full", &full);
+            save_csv(&args.csv_dir, "fig5_cic_zoom", &zoom);
+            let (svg_full, svg_zoom) = f.to_svg();
+            save_file(&args.csv_dir, "fig4_cic_full.svg", &svg_full);
+            save_file(&args.csv_dir, "fig5_cic_zoom.svg", &svg_zoom);
+            save_json(&args.json_dir, "fig45", &f);
+        }
+        "fig6" | "fig7" => {
+            let f = figs::run(figs::Training::TakenNotTaken, "gcc", scale);
+            println!("{}", f.render());
+            let (full, zoom) = f.to_csv();
+            save_csv(&args.csv_dir, "fig6_tnt_full", &full);
+            save_csv(&args.csv_dir, "fig7_tnt_zoom", &zoom);
+            let (svg_full, svg_zoom) = f.to_svg();
+            save_file(&args.csv_dir, "fig6_tnt_full.svg", &svg_full);
+            save_file(&args.csv_dir, "fig7_tnt_zoom.svg", &svg_zoom);
+            save_json(&args.json_dir, "fig67", &f);
+        }
+        "fig8" => {
+            let f = fig89::run(fig89::Machine::Deep, scale);
+            println!("{}", f.render());
+            save_file(&args.csv_dir, "fig8.svg", &f.to_svg());
+            save_json(&args.json_dir, "fig8", &f);
+        }
+        "fig9" => {
+            let f = fig89::run(fig89::Machine::Wide, scale);
+            println!("{}", f.render());
+            save_file(&args.csv_dir, "fig9.svg", &f.to_svg());
+            save_json(&args.json_dir, "fig9", &f);
+        }
+        "latency" => {
+            let l = latency::run(scale);
+            println!("{}", l.render());
+            println!("9-cycle latency is cheap: {}", l.nine_cycles_is_cheap());
+            save_json(&args.json_dir, "latency", &l);
+        }
+        "energy" => {
+            let e = energy::run(scale);
+            println!("{}", e.render());
+            println!("gating saves energy: {}", e.gating_saves_energy());
+            save_json(&args.json_dir, "energy", &e);
+        }
+        other => return Err(format!("unknown experiment: {other}")),
+    }
+    Ok(())
+}
+
+const ALL: [&str; 11] = [
+    "table2", "table3", "table4", "table5", "table6", "fig4", "fig6", "fig8", "fig9", "latency",
+    "energy",
+];
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]\n\
+                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy all"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = std::time::Instant::now();
+    let result = if args.experiment == "all" {
+        ALL.iter().try_for_each(|name| {
+            println!("\n================ {name} ================\n");
+            run_one(name, &args)
+        })
+    } else {
+        run_one(&args.experiment, &args)
+    };
+    match result {
+        Ok(()) => {
+            eprintln!("\n[{:.1}s elapsed]", start.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Energy accounting for pipeline gating — the paper's motivation
+//! quantified. For each perceptron λ the driver reports the change in
+//! total energy and in energy×delay versus the ungated baseline, using
+//! the front-end/execute/static decomposition of
+//! [`perconf_pipeline::EnergyModel`].
+
+use crate::common::{controller, perceptron, BaselineSet, PredictorKind, Scale};
+use perconf_metrics::{stats, Table};
+use perconf_pipeline::{EnergyModel, PipelineConfig};
+use serde::{Deserialize, Serialize};
+
+/// One λ design point's energy outcome (means across benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRow {
+    /// Estimator threshold λ.
+    pub lambda: i32,
+    /// Mean fractional change in total energy (negative = saved).
+    pub d_energy: f64,
+    /// Mean fractional change in energy×delay.
+    pub d_energy_delay: f64,
+    /// Mean fractional performance loss.
+    pub perf_loss: f64,
+    /// Mean wasted-energy fraction of the *baseline* run.
+    pub baseline_wasted_frac: f64,
+}
+
+/// Full energy study result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyStudy {
+    /// Rows for each λ.
+    pub rows: Vec<EnergyRow>,
+}
+
+/// The λ sweep (same as Table 4's perceptron column).
+pub const LAMBDAS: [i32; 4] = [25, 0, -25, -50];
+
+/// Runs the energy study (perceptron estimator, PL1, 40-cycle pipe).
+#[must_use]
+pub fn run(scale: Scale) -> EnergyStudy {
+    let model = EnergyModel::default();
+    let baselines = BaselineSet::build(
+        PredictorKind::BimodalGshare,
+        PipelineConfig::deep(),
+        scale,
+    );
+    let baseline_wasted: Vec<f64> = baselines
+        .runs()
+        .iter()
+        .map(|(_, s)| model.evaluate(s).wasted_frac())
+        .collect();
+    let rows = LAMBDAS
+        .iter()
+        .map(|&l| {
+            let (mean, per) = baselines.evaluate(baselines.pipe().gated(1), || {
+                controller(PredictorKind::BimodalGshare, perceptron(l))
+            });
+            let mut de = Vec::new();
+            let mut dedp = Vec::new();
+            for ((_, base), (_, var)) in baselines.runs().iter().zip(&per) {
+                let (e, ed) = model.compare(base, var);
+                de.push(e);
+                dedp.push(ed);
+            }
+            EnergyRow {
+                lambda: l,
+                d_energy: stats::mean(&de).unwrap_or(0.0),
+                d_energy_delay: stats::mean(&dedp).unwrap_or(0.0),
+                perf_loss: mean.perf_loss,
+                baseline_wasted_frac: stats::mean(&baseline_wasted).unwrap_or(0.0),
+            }
+        })
+        .collect();
+    EnergyStudy { rows }
+}
+
+impl EnergyStudy {
+    /// Renders the study.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::with_headers(&["λ", "ΔE%", "ΔE·D%", "P%"]);
+        t.numeric();
+        for r in &self.rows {
+            t.row(vec![
+                r.lambda.to_string(),
+                format!("{:+.1}", r.d_energy * 100.0),
+                format!("{:+.1}", r.d_energy_delay * 100.0),
+                format!("{:+.1}", r.perf_loss * 100.0),
+            ]);
+        }
+        let wasted = self
+            .rows
+            .first()
+            .map_or(0.0, |r| r.baseline_wasted_frac * 100.0);
+        format!(
+            "Energy study: perceptron gating, PL1, 40-cycle pipeline\n\
+             (baseline spends {wasted:.1}% of its energy on the wrong path)\n{}",
+            t.render()
+        )
+    }
+
+    /// The motivating claim: some gating point saves net energy.
+    #[must_use]
+    pub fn gating_saves_energy(&self) -> bool {
+        self.rows.iter().any(|r| r.d_energy < 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_sweep_matches_table4() {
+        assert_eq!(LAMBDAS, crate::table3::PERCEPTRON_LAMBDAS);
+    }
+}

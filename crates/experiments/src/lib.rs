@@ -1,0 +1,46 @@
+//! Reproduction drivers for every table and figure in the evaluation
+//! of *Perceptron-Based Branch Confidence Estimation* (HPCA 2004).
+//!
+//! Each experiment is a function returning a serialisable result
+//! struct with a `render()` method that prints rows in the same shape
+//! the paper reports, side by side with the paper's numbers where
+//! available. The `repro` binary dispatches to them:
+//!
+//! ```text
+//! cargo run --release -p perconf-experiments --bin repro -- table3
+//! cargo run --release -p perconf-experiments --bin repro -- all --full
+//! ```
+//!
+//! | ID | Paper content | Module |
+//! |---|---|---|
+//! | `table2` | workload speculation-waste characteristics | [`table2`] |
+//! | `table3` | PVN/Spec: enhanced JRS vs perceptron | [`table3`] |
+//! | `table4` | pipeline gating: uop reduction vs perf loss | [`table4`] |
+//! | `table5` | effect of a better baseline predictor | [`table5`] |
+//! | `table6` | perceptron size sensitivity | [`table6`] |
+//! | `fig4`–`fig7` | perceptron output densities (cic vs tnt) | [`figs`] |
+//! | `latency` | §5.4.2 estimator-latency sensitivity | [`latency`] |
+//! | `fig8`/`fig9` | combined gating + reversal per benchmark | [`fig89`] |
+//! | `energy` | energy / energy×delay of gating (extension) | [`energy`] |
+//!
+//! Absolute numbers differ from the paper (the substrate is a
+//! synthetic-trace simulator, not Intel's LIT testbed — see
+//! `DESIGN.md` §2); the drivers exist to reproduce the *shape* of
+//! each result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod energy;
+pub mod fig89;
+pub mod figs;
+pub mod latency;
+pub mod paper;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+pub use common::Scale;

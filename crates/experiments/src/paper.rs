@@ -1,0 +1,128 @@
+//! The paper's published numbers, embedded so every driver can print
+//! paper-vs-measured side by side. All values transcribed from the
+//! HPCA 2004 text (Tables 2–6, Figures 8–9 and §5.4–5.5 prose).
+
+/// Table 2: per-benchmark branch mispredicts per 1000 uops and the
+/// percentage increase in uops executed due to branch mispredictions
+/// on the three pipeline shapes `(mpku, w20x4, w20x8, w40x4)`.
+pub const TABLE2: [(&str, f64, f64, f64, f64); 12] = [
+    ("gzip", 5.2, 30.0, 66.0, 61.0),
+    ("vpr", 6.6, 35.0, 75.0, 78.0),
+    ("gcc", 2.3, 11.0, 19.0, 24.0),
+    ("mcf", 16.0, 110.0, 225.0, 226.0),
+    ("crafty", 3.4, 13.0, 38.0, 31.0),
+    ("link", 4.6, 28.0, 60.0, 65.0),
+    ("eon", 0.5, 2.0, 4.0, 6.0),
+    ("perlbmk", 0.7, 3.0, 7.0, 7.0),
+    ("gap", 1.7, 9.0, 16.0, 19.0),
+    ("vortex", 0.2, 1.0, 2.0, 2.0),
+    ("bzip", 1.1, 5.0, 14.0, 13.0),
+    ("twolf", 6.3, 30.0, 49.0, 64.0),
+];
+
+/// Table 2 bottom row: the paper's averages.
+pub const TABLE2_AVG: (f64, f64, f64, f64) = (4.1, 24.0, 48.0, 50.0);
+
+/// Table 3, enhanced JRS: `(lambda, pvn_pct, spec_pct)`.
+pub const TABLE3_JRS: [(u8, f64, f64); 4] = [
+    (3, 36.0, 85.0),
+    (7, 28.0, 92.0),
+    (11, 24.0, 94.0),
+    (15, 22.0, 96.0),
+];
+
+/// Table 3, perceptron: `(lambda, pvn_pct, spec_pct)`.
+pub const TABLE3_PERCEPTRON: [(i32, f64, f64); 4] = [
+    (25, 77.0, 34.0),
+    (0, 74.0, 43.0),
+    (-25, 69.0, 54.0),
+    (-50, 61.0, 66.0),
+];
+
+/// A `(U%, P%)` pair as printed in the paper's tables.
+pub type UopPerf = (f64, f64);
+
+/// Table 4, JRS gating: `(lambda, (u_pl1, p_pl1), (u_pl2, p_pl2),
+/// (u_pl3, p_pl3))`, percentages.
+pub const TABLE4_JRS: [(u8, UopPerf, UopPerf, UopPerf); 4] = [
+    (3, (26.0, 17.0), (14.0, 4.0), (9.0, 2.0)),
+    (7, (29.0, 25.0), (19.0, 9.0), (13.0, 4.0)),
+    (11, (31.0, 29.0), (21.0, 12.0), (14.0, 5.0)),
+    (15, (31.0, 32.0), (22.0, 14.0), (15.0, 7.0)),
+];
+
+/// Table 4, perceptron gating at PL1: `(lambda, u, p)`, percentages.
+pub const TABLE4_PERCEPTRON: [(i32, f64, f64); 4] = [
+    (25, 8.0, 0.0),
+    (0, 11.0, 1.0),
+    (-25, 14.0, 2.0),
+    (-50, 18.0, 3.0),
+];
+
+/// Table 5, gating with the bimodal-gshare baseline: `(lambda, u, p)`.
+pub const TABLE5_BIMODAL_GSHARE: [(i32, f64, f64); 4] = [
+    (25, 8.0, 0.0),
+    (0, 11.0, 1.0),
+    (-25, 14.0, 2.0),
+    (-50, 18.0, 3.0),
+];
+
+/// Table 5, gating with the gshare-perceptron baseline:
+/// `(lambda, u, p)`.
+pub const TABLE5_GSHARE_PERCEPTRON: [(i32, f64, f64); 4] = [
+    (0, 4.0, 0.0),
+    (-25, 8.0, 1.0),
+    (-50, 12.0, 2.0),
+    (-60, 14.0, 3.0),
+];
+
+/// Table 6: `(label, size_kb, p_pct, u_pct)`.
+pub const TABLE6: [(&str, f64, f64, f64); 7] = [
+    ("P128W8H32", 4.0, 1.0, 11.0),
+    ("P96W8H32", 3.0, 1.0, 11.0),
+    ("P128W6H32", 3.0, 2.0, 10.0),
+    ("P128W8H24", 3.0, 1.0, 10.0),
+    ("P64W8H32", 2.0, 1.0, 10.0),
+    ("P128W4H32", 2.0, 6.0, 8.0),
+    ("P128W8H16", 2.0, 1.0, 8.0),
+];
+
+/// §5.5: combined reversal + gating thresholds (reverse above 0, gate
+/// in `[-75, 0]` with PL2) and the paper's average outcomes.
+pub const FIG8_AVG_UOP_REDUCTION: f64 = 10.0;
+/// Figure 8's average performance change (none).
+pub const FIG8_AVG_PERF_LOSS: f64 = 0.0;
+/// Figure 9 (8-wide 20-cycle): average reduction ≈ 7%, no loss.
+pub const FIG9_AVG_UOP_REDUCTION: f64 = 7.0;
+
+/// §5.3 / Figure 5: the three output regions of `perceptron_cic` on
+/// gcc — reversal above, gating band, high-confidence below.
+pub const FIG5_REVERSAL_THRESHOLD: i64 = 30;
+/// Lower edge of the gating band in Figure 5.
+pub const FIG5_GATE_LOW: i64 = -30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_benchmark_order() {
+        let names: Vec<&str> = TABLE2.iter().map(|r| r.0).collect();
+        assert_eq!(names, perconf_workload::SPEC2000_NAMES.to_vec());
+    }
+
+    #[test]
+    fn jrs_pvn_decreases_with_lambda_in_paper() {
+        for w in TABLE3_JRS.windows(2) {
+            assert!(w[0].1 > w[1].1);
+            assert!(w[0].2 < w[1].2);
+        }
+    }
+
+    #[test]
+    fn perceptron_dominates_jrs_pvn_in_paper() {
+        let best_jrs = TABLE3_JRS.iter().map(|r| r.1).fold(0.0, f64::max);
+        let worst_perc = TABLE3_PERCEPTRON.iter().map(|r| r.1).fold(100.0, f64::min);
+        assert!(worst_perc > best_jrs * 1.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Table 2 — benchmark speculation-waste characteristics: branch
+//! mispredicts per 1000 uops, and the % increase in uops executed
+//! (and fetched) due to branch mispredictions on the 20-cycle 4-wide,
+//! 20-cycle 8-wide and 40-cycle 4-wide pipelines.
+
+use crate::common::{run_pipeline, PredictorKind, Scale};
+use crate::paper;
+use perconf_core::{AlwaysHigh, SpeculationController};
+use perconf_metrics::{stats, Table};
+use perconf_pipeline::PipelineConfig;
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Measured branch mispredicts per 1000 uops (on the deep pipe).
+    pub mpku: f64,
+    /// % extra uops executed / fetched on each shape.
+    pub waste: [WastePair; 3],
+}
+
+/// Executed/fetched waste percentages for one pipeline shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WastePair {
+    /// % increase in uops executed due to mispredictions.
+    pub executed: f64,
+    /// % increase in uops fetched due to mispredictions.
+    pub fetched: f64,
+}
+
+/// Full Table 2 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Per-benchmark rows in the paper's order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// The three pipeline shapes of Table 2, in column order.
+#[must_use]
+pub fn shapes() -> [(&'static str, PipelineConfig); 3] {
+    [
+        ("20c/4w", PipelineConfig::shallow()),
+        ("20c/8w", PipelineConfig::wide()),
+        ("40c/4w", PipelineConfig::deep()),
+    ]
+}
+
+/// Runs the Table 2 experiment.
+#[must_use]
+pub fn run(scale: Scale) -> Table2 {
+    let mut rows = Vec::new();
+    for wl in crate::common::benchmarks() {
+        let mut waste = [WastePair {
+            executed: 0.0,
+            fetched: 0.0,
+        }; 3];
+        let mut mpku = 0.0;
+        for (i, (_, cfg)) in shapes().into_iter().enumerate() {
+            let ctl = SpeculationController::new(
+                PredictorKind::BimodalGshare.build(),
+                Box::new(AlwaysHigh) as Box<dyn perconf_core::ConfidenceEstimator>,
+            );
+            let s = run_pipeline(&wl, cfg, ctl, scale);
+            waste[i] = WastePair {
+                executed: s.wasted_execution_frac() * 100.0,
+                fetched: if s.fetched_correct == 0 {
+                    0.0
+                } else {
+                    s.fetched_wrong as f64 * 100.0 / s.fetched_correct as f64
+                },
+            };
+            if i == 2 {
+                mpku = s.mpku();
+            }
+        }
+        rows.push(Table2Row {
+            bench: wl.name.clone(),
+            mpku,
+            waste,
+        });
+    }
+    Table2 { rows }
+}
+
+impl Table2 {
+    /// Renders the table with the paper's values alongside.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::with_headers(&[
+            "bench",
+            "mpku",
+            "mpku(paper)",
+            "20c4w ex%",
+            "20c4w fe%",
+            "(paper)",
+            "20c8w ex%",
+            "20c8w fe%",
+            "(paper)",
+            "40c4w ex%",
+            "40c4w fe%",
+            "(paper)",
+        ]);
+        t.numeric();
+        for (row, p) in self.rows.iter().zip(paper::TABLE2) {
+            t.row(vec![
+                row.bench.clone(),
+                format!("{:.1}", row.mpku),
+                format!("{:.1}", p.1),
+                format!("{:.0}", row.waste[0].executed),
+                format!("{:.0}", row.waste[0].fetched),
+                format!("{:.0}", p.2),
+                format!("{:.0}", row.waste[1].executed),
+                format!("{:.0}", row.waste[1].fetched),
+                format!("{:.0}", p.3),
+                format!("{:.0}", row.waste[2].executed),
+                format!("{:.0}", row.waste[2].fetched),
+                format!("{:.0}", p.4),
+            ]);
+        }
+        let avg = |f: &dyn Fn(&Table2Row) -> f64| {
+            stats::mean(&self.rows.iter().map(f).collect::<Vec<_>>()).unwrap_or(0.0)
+        };
+        t.row(vec![
+            "average".into(),
+            format!("{:.1}", avg(&|r| r.mpku)),
+            format!("{:.1}", paper::TABLE2_AVG.0),
+            format!("{:.0}", avg(&|r| r.waste[0].executed)),
+            format!("{:.0}", avg(&|r| r.waste[0].fetched)),
+            format!("{:.0}", paper::TABLE2_AVG.1),
+            format!("{:.0}", avg(&|r| r.waste[1].executed)),
+            format!("{:.0}", avg(&|r| r.waste[1].fetched)),
+            format!("{:.0}", paper::TABLE2_AVG.2),
+            format!("{:.0}", avg(&|r| r.waste[2].executed)),
+            format!("{:.0}", avg(&|r| r.waste[2].fetched)),
+            format!("{:.0}", paper::TABLE2_AVG.3),
+        ]);
+        format!(
+            "Table 2: speculation waste (ex = executed, fe = fetched; paper reports executed)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let s = shapes();
+        assert_eq!(s[0].1.width, 4);
+        assert_eq!(s[1].1.width, 8);
+        assert_eq!(s[2].1.frontend_depth, 34);
+    }
+}

@@ -1,0 +1,138 @@
+//! Table 3 — confidence-estimation metrics: PVN (accuracy) and Spec
+//! (coverage) for the enhanced JRS estimator at λ ∈ {3, 7, 11, 15}
+//! versus the perceptron estimator at λ ∈ {25, 0, −25, −50}, both at
+//! 4 KB of storage, over all twelve benchmarks.
+
+use crate::common::{benchmarks, jrs, perceptron, trace_eval, PredictorKind, Scale};
+use crate::paper;
+use perconf_metrics::{ConfusionMatrix, Table};
+use serde::{Deserialize, Serialize};
+
+/// One estimator design point's aggregated metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Estimator threshold λ.
+    pub lambda: i32,
+    /// Measured PVN (%), aggregated across benchmarks.
+    pub pvn: f64,
+    /// Measured Spec (%), aggregated across benchmarks.
+    pub spec: f64,
+}
+
+/// Full Table 3 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Enhanced JRS rows (λ = 3, 7, 11, 15).
+    pub jrs: Vec<Table3Row>,
+    /// Perceptron rows (λ = 25, 0, −25, −50).
+    pub perceptron: Vec<Table3Row>,
+}
+
+/// The JRS thresholds swept by the paper.
+pub const JRS_LAMBDAS: [u8; 4] = [3, 7, 11, 15];
+/// The perceptron thresholds swept by the paper.
+pub const PERCEPTRON_LAMBDAS: [i32; 4] = [25, 0, -25, -50];
+
+fn eval(
+    mk: &dyn Fn() -> Box<dyn perconf_core::ConfidenceEstimator>,
+    scale: Scale,
+) -> ConfusionMatrix {
+    let mut total = ConfusionMatrix::new();
+    for wl in benchmarks() {
+        let mut p = PredictorKind::BimodalGshare.build();
+        let mut ce = mk();
+        let (cm, _) = trace_eval(
+            &wl,
+            p.as_mut(),
+            ce.as_mut(),
+            scale.warmup_branches,
+            scale.run_branches,
+            None,
+        );
+        total.merge(&cm);
+    }
+    total
+}
+
+/// Runs the Table 3 experiment.
+#[must_use]
+pub fn run(scale: Scale) -> Table3 {
+    let jrs_rows = JRS_LAMBDAS
+        .iter()
+        .map(|&l| {
+            let cm = eval(&|| jrs(l), scale);
+            Table3Row {
+                lambda: i32::from(l),
+                pvn: cm.pvn() * 100.0,
+                spec: cm.spec() * 100.0,
+            }
+        })
+        .collect();
+    let perc_rows = PERCEPTRON_LAMBDAS
+        .iter()
+        .map(|&l| {
+            let cm = eval(&|| perceptron(l), scale);
+            Table3Row {
+                lambda: l,
+                pvn: cm.pvn() * 100.0,
+                spec: cm.spec() * 100.0,
+            }
+        })
+        .collect();
+    Table3 {
+        jrs: jrs_rows,
+        perceptron: perc_rows,
+    }
+}
+
+impl Table3 {
+    /// Renders both halves with the paper's numbers alongside.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table 3: confidence estimation metrics (PVN = accuracy, Spec = coverage)\n");
+        let mut t = Table::with_headers(&["estimator", "λ", "PVN%", "PVN(paper)", "Spec%", "Spec(paper)"]);
+        t.numeric();
+        for (row, p) in self.jrs.iter().zip(paper::TABLE3_JRS) {
+            t.row(vec![
+                "enhanced-JRS".into(),
+                row.lambda.to_string(),
+                format!("{:.0}", row.pvn),
+                format!("{:.0}", p.1),
+                format!("{:.0}", row.spec),
+                format!("{:.0}", p.2),
+            ]);
+        }
+        for (row, p) in self.perceptron.iter().zip(paper::TABLE3_PERCEPTRON) {
+            t.row(vec![
+                "perceptron".into(),
+                row.lambda.to_string(),
+                format!("{:.0}", row.pvn),
+                format!("{:.0}", p.1),
+                format!("{:.0}", row.spec),
+                format!("{:.0}", p.2),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// The paper's headline claim: the perceptron's *worst* accuracy
+    /// beats the JRS estimator's *best* accuracy.
+    #[must_use]
+    pub fn perceptron_pvn_dominates(&self) -> bool {
+        let best_jrs = self.jrs.iter().map(|r| r.pvn).fold(0.0, f64::max);
+        let worst_p = self.perceptron.iter().map(|r| r.pvn).fold(100.0, f64::min);
+        worst_p > best_jrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_constants_match_paper() {
+        assert_eq!(JRS_LAMBDAS, [3, 7, 11, 15]);
+        assert_eq!(PERCEPTRON_LAMBDAS, [25, 0, -25, -50]);
+    }
+}

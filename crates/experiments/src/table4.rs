@@ -1,0 +1,166 @@
+//! Table 4 — pipeline gating on the 40-cycle pipeline: reduction in
+//! total uops executed (`U`) and performance loss (`P`) for the
+//! enhanced JRS estimator at branch-counter thresholds PL1–PL3 and the
+//! perceptron estimator at PL1, each across its λ sweep.
+
+use crate::common::{
+    controller, jrs, perceptron, BaselineSet, GatingOutcome, PredictorKind, Scale,
+};
+use crate::paper;
+use crate::table3::{JRS_LAMBDAS, PERCEPTRON_LAMBDAS};
+use perconf_metrics::Table;
+use perconf_pipeline::PipelineConfig;
+use serde::{Deserialize, Serialize};
+
+/// One gating design point, averaged across benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Estimator threshold λ.
+    pub lambda: i32,
+    /// Low-confidence branch counter threshold (PLn).
+    pub pl: u32,
+    /// Mean outcome across benchmarks.
+    pub outcome: GatingOutcome,
+}
+
+/// Full Table 4 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// JRS rows: λ × {PL1, PL2, PL3}.
+    pub jrs: Vec<Table4Row>,
+    /// Perceptron rows: λ × PL1.
+    pub perceptron: Vec<Table4Row>,
+}
+
+/// Runs one gating design point over all benchmarks and averages,
+/// against precomputed baselines.
+pub fn run_point(
+    baselines: &BaselineSet,
+    mk_est: &dyn Fn() -> Box<dyn perconf_core::ConfidenceEstimator>,
+    pl: u32,
+) -> GatingOutcome {
+    let (mean, _) = baselines.evaluate(baselines.pipe().gated(pl), || {
+        controller(PredictorKind::BimodalGshare, mk_est())
+    });
+    mean
+}
+
+/// Runs the Table 4 experiment on the deep (40-cycle) pipeline.
+#[must_use]
+pub fn run(scale: Scale) -> Table4 {
+    let baselines = BaselineSet::build(
+        PredictorKind::BimodalGshare,
+        PipelineConfig::deep(),
+        scale,
+    );
+    let mut jrs_rows = Vec::new();
+    for pl in [1u32, 2, 3] {
+        for &l in &JRS_LAMBDAS {
+            jrs_rows.push(Table4Row {
+                lambda: i32::from(l),
+                pl,
+                outcome: run_point(&baselines, &|| jrs(l), pl),
+            });
+        }
+    }
+    let mut perc_rows = Vec::new();
+    for &l in &PERCEPTRON_LAMBDAS {
+        perc_rows.push(Table4Row {
+            lambda: l,
+            pl: 1,
+            outcome: run_point(&baselines, &|| perceptron(l), 1),
+        });
+    }
+    Table4 {
+        jrs: jrs_rows,
+        perceptron: perc_rows,
+    }
+}
+
+impl Table4 {
+    /// Renders the table with paper values alongside.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::with_headers(&[
+            "estimator",
+            "λ",
+            "PL",
+            "U(exec)%",
+            "U(fetch)%",
+            "U(paper)%",
+            "P%",
+            "P(paper)%",
+        ]);
+        t.numeric();
+        for row in &self.jrs {
+            let paper_row = paper::TABLE4_JRS
+                .iter()
+                .find(|r| i32::from(r.0) == row.lambda)
+                .expect("paper row");
+            let (pu, pp) = match row.pl {
+                1 => paper_row.1,
+                2 => paper_row.2,
+                _ => paper_row.3,
+            };
+            t.row(vec![
+                "enhanced-JRS".into(),
+                row.lambda.to_string(),
+                format!("PL{}", row.pl),
+                format!("{:.1}", row.outcome.u_executed * 100.0),
+                format!("{:.1}", row.outcome.u_fetched * 100.0),
+                format!("{pu:.0}"),
+                format!("{:.1}", row.outcome.perf_loss * 100.0),
+                format!("{pp:.0}"),
+            ]);
+        }
+        for row in &self.perceptron {
+            let p = paper::TABLE4_PERCEPTRON
+                .iter()
+                .find(|r| r.0 == row.lambda)
+                .expect("paper row");
+            t.row(vec![
+                "perceptron".into(),
+                row.lambda.to_string(),
+                "PL1".into(),
+                format!("{:.1}", row.outcome.u_executed * 100.0),
+                format!("{:.1}", row.outcome.u_fetched * 100.0),
+                format!("{:.0}", p.1),
+                format!("{:.1}", row.outcome.perf_loss * 100.0),
+                format!("{:.0}", p.2),
+            ]);
+        }
+        format!(
+            "Table 4: pipeline gating on the 40-cycle pipeline (U = uop reduction, P = perf loss)\n{}",
+            t.render()
+        )
+    }
+
+    /// The paper's qualitative claim: within a performance-loss budget,
+    /// the perceptron's best design point reduces at least as many
+    /// uops as JRS's best point within the same budget.
+    #[must_use]
+    pub fn perceptron_dominates_at_low_loss(&self, loss_budget: f64) -> bool {
+        let best = |rows: &[Table4Row]| {
+            rows.iter()
+                .filter(|r| r.outcome.perf_loss <= loss_budget)
+                .map(|r| r.outcome.u_executed)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        best(&self.perceptron) >= best(&self.jrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_cover_all_lambdas() {
+        for &l in &JRS_LAMBDAS {
+            assert!(crate::paper::TABLE4_JRS.iter().any(|r| r.0 == l));
+        }
+        for &l in &PERCEPTRON_LAMBDAS {
+            assert!(crate::paper::TABLE4_PERCEPTRON.iter().any(|r| r.0 == l));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Table 6 — perceptron array size sensitivity: the paper's seven
+//! `PiWjHk` configurations (4 KB down to 2 KB via fewer entries,
+//! narrower weights, or shorter history), each gated at PL1 on the
+//! 40-cycle pipeline.
+
+use crate::common::{controller, BaselineSet, GatingOutcome, PredictorKind, Scale};
+use crate::paper;
+use perconf_core::{PerceptronCe, PerceptronCeConfig};
+use perconf_metrics::Table;
+use perconf_pipeline::PipelineConfig;
+use serde::{Deserialize, Serialize};
+
+/// One size configuration's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Paper-style label, e.g. `P128W8H32`.
+    pub label: String,
+    /// Array size in bits.
+    pub size_bits: u64,
+    /// Mean outcome across benchmarks.
+    pub outcome: GatingOutcome,
+}
+
+/// Full Table 6 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table6Row>,
+}
+
+/// The paper's seven configurations as (entries, weight bits, history).
+pub const CONFIGS: [(u32, u32, u32); 7] = [
+    (128, 8, 32),
+    (96, 8, 32),
+    (128, 6, 32),
+    (128, 8, 24),
+    (64, 8, 32),
+    (128, 4, 32),
+    (128, 8, 16),
+];
+
+/// Runs the Table 6 experiment.
+#[must_use]
+pub fn run(scale: Scale) -> Table6 {
+    let baselines = BaselineSet::build(
+        PredictorKind::BimodalGshare,
+        PipelineConfig::deep(),
+        scale,
+    );
+    let mut rows = Vec::new();
+    for (entries, wbits, hist) in CONFIGS {
+        let cfg = PerceptronCeConfig::sized(entries, wbits, hist);
+        let (mean, _) = baselines.evaluate(baselines.pipe().gated(1), || {
+            controller(
+                PredictorKind::BimodalGshare,
+                Box::new(PerceptronCe::new(cfg)),
+            )
+        });
+        rows.push(Table6Row {
+            label: cfg.label(),
+            size_bits: u64::from(entries) * u64::from(hist + 1) * u64::from(wbits),
+            outcome: mean,
+        });
+    }
+    Table6 { rows }
+}
+
+impl Table6 {
+    /// Renders the table with paper values alongside.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::with_headers(&[
+            "config",
+            "size",
+            "U(exec)%",
+            "U(fetch)%",
+            "U(paper)%",
+            "P%",
+            "P(paper)%",
+        ]);
+        t.numeric();
+        for row in &self.rows {
+            let p = paper::TABLE6.iter().find(|r| r.0 == row.label);
+            t.row(vec![
+                row.label.clone(),
+                format!("{:.1}KB", row.size_bits as f64 / 8192.0),
+                format!("{:.1}", row.outcome.u_executed * 100.0),
+                format!("{:.1}", row.outcome.u_fetched * 100.0),
+                p.map_or("-".into(), |p| format!("{:.0}", p.3)),
+                format!("{:.1}", row.outcome.perf_loss * 100.0),
+                p.map_or("-".into(), |p| format!("{:.0}", p.2)),
+            ]);
+        }
+        format!(
+            "Table 6: perceptron size sensitivity (PL1 gating, 40-cycle pipeline)\n{}",
+            t.render()
+        )
+    }
+
+    /// The paper's finding: shrinking to 2 KB by narrowing weights to
+    /// 4 bits hurts performance more than any other 2 KB option.
+    #[must_use]
+    pub fn narrow_weights_hurt_most(&self) -> bool {
+        let loss = |label: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.label == label)
+                .map(|r| r.outcome.perf_loss)
+        };
+        match (loss("P128W4H32"), loss("P64W8H32"), loss("P128W8H16")) {
+            (Some(w4), Some(e64), Some(h16)) => w4 >= e64 && w4 >= h16,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_match_paper_labels() {
+        for ((e, w, h), p) in CONFIGS.iter().zip(paper::TABLE6) {
+            assert_eq!(format!("P{e}W{w}H{h}"), p.0);
+        }
+    }
+}

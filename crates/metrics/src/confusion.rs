@@ -1,0 +1,230 @@
+use serde::{Deserialize, Serialize};
+
+/// Four-quadrant tally of branch-prediction outcome versus assigned
+/// confidence, following the terminology of Grunwald et al. and the
+/// HPCA 2004 paper.
+///
+/// A confidence estimator performs a *negative test*: flagging a branch
+/// as **low confidence** asserts the prediction is likely wrong. The
+/// quadrants are:
+///
+/// | | high confidence | low confidence |
+/// |---|---|---|
+/// | **correctly predicted** | `correct_high` | `correct_low` |
+/// | **mispredicted** | `miss_high` | `miss_low` |
+///
+/// From these the paper's two primary metrics are derived:
+///
+/// * [`pvn`](Self::pvn) — *predictive value of a negative test*,
+///   `miss_low / (miss_low + correct_low)`: of the branches flagged low
+///   confidence, how many really were mispredicted. The paper calls
+///   this **accuracy**.
+/// * [`spec`](Self::spec) — *specificity*,
+///   `miss_low / (miss_low + miss_high)`: of the mispredicted branches,
+///   how many were flagged low confidence. The paper calls this
+///   **coverage**.
+///
+/// # Examples
+///
+/// ```
+/// use perconf_metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new();
+/// for _ in 0..90 {
+///     cm.record(false, false); // correct, high confidence
+/// }
+/// for _ in 0..6 {
+///     cm.record(true, true); // mispredicted, low confidence
+/// }
+/// for _ in 0..4 {
+///     cm.record(false, true); // correct but flagged low
+/// }
+/// assert!((cm.pvn() - 0.6).abs() < 1e-12);
+/// assert_eq!(cm.spec(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Correctly predicted branches assigned high confidence.
+    pub correct_high: u64,
+    /// Correctly predicted branches assigned low confidence (false alarms).
+    pub correct_low: u64,
+    /// Mispredicted branches assigned high confidence (missed coverage).
+    pub miss_high: u64,
+    /// Mispredicted branches assigned low confidence (hits).
+    pub miss_low: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one branch: whether its prediction turned out wrong
+    /// (`mispredicted`) and whether the estimator had flagged it
+    /// low confidence (`low_confidence`).
+    pub fn record(&mut self, mispredicted: bool, low_confidence: bool) {
+        match (mispredicted, low_confidence) {
+            (false, false) => self.correct_high += 1,
+            (false, true) => self.correct_low += 1,
+            (true, false) => self.miss_high += 1,
+            (true, true) => self.miss_low += 1,
+        }
+    }
+
+    /// Total number of branches recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.correct_high + self.correct_low + self.miss_high + self.miss_low
+    }
+
+    /// Total number of mispredicted branches recorded.
+    #[must_use]
+    pub fn mispredicted(&self) -> u64 {
+        self.miss_high + self.miss_low
+    }
+
+    /// Total number of branches flagged low confidence.
+    #[must_use]
+    pub fn flagged_low(&self) -> u64 {
+        self.correct_low + self.miss_low
+    }
+
+    /// Predictive value of a negative test — the paper's **accuracy**
+    /// metric: probability that a low-confidence flag is correct.
+    ///
+    /// Returns 0.0 when no branch was flagged low confidence.
+    #[must_use]
+    pub fn pvn(&self) -> f64 {
+        ratio(self.miss_low, self.flagged_low())
+    }
+
+    /// Specificity — the paper's **coverage** metric: fraction of all
+    /// mispredicted branches that were flagged low confidence.
+    ///
+    /// Returns 0.0 when no branch was mispredicted.
+    #[must_use]
+    pub fn spec(&self) -> f64 {
+        ratio(self.miss_low, self.mispredicted())
+    }
+
+    /// Sensitivity: fraction of correctly predicted branches assigned
+    /// high confidence.
+    #[must_use]
+    pub fn sens(&self) -> f64 {
+        ratio(self.correct_high, self.correct_high + self.correct_low)
+    }
+
+    /// Predictive value of a positive test: probability that a
+    /// high-confidence flag is correct.
+    #[must_use]
+    pub fn pvp(&self) -> f64 {
+        ratio(self.correct_high, self.correct_high + self.miss_high)
+    }
+
+    /// Branch misprediction rate over all recorded branches.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        ratio(self.mispredicted(), self.total())
+    }
+
+    /// Merges another matrix into this one (e.g. accumulating across
+    /// benchmarks).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.correct_high += other.correct_high;
+        self.correct_low += other.correct_low;
+        self.miss_high += other.miss_high;
+        self.miss_low += other.miss_low;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let cm = ConfusionMatrix::new();
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.pvn(), 0.0);
+        assert_eq!(cm.spec(), 0.0);
+        assert_eq!(cm.sens(), 0.0);
+        assert_eq!(cm.pvp(), 0.0);
+        assert_eq!(cm.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn quadrants_route_correctly() {
+        let mut cm = ConfusionMatrix::new();
+        cm.record(false, false);
+        cm.record(false, true);
+        cm.record(true, false);
+        cm.record(true, true);
+        assert_eq!(cm.correct_high, 1);
+        assert_eq!(cm.correct_low, 1);
+        assert_eq!(cm.miss_high, 1);
+        assert_eq!(cm.miss_low, 1);
+        assert_eq!(cm.total(), 4);
+    }
+
+    #[test]
+    fn perfect_estimator_has_unit_metrics() {
+        let mut cm = ConfusionMatrix::new();
+        for _ in 0..10 {
+            cm.record(true, true);
+            cm.record(false, false);
+        }
+        assert_eq!(cm.pvn(), 1.0);
+        assert_eq!(cm.spec(), 1.0);
+        assert_eq!(cm.sens(), 1.0);
+        assert_eq!(cm.pvp(), 1.0);
+        assert_eq!(cm.misprediction_rate(), 0.5);
+    }
+
+    #[test]
+    fn always_low_estimator_has_full_coverage_and_pvn_equal_to_missrate() {
+        let mut cm = ConfusionMatrix::new();
+        for i in 0..100 {
+            cm.record(i % 10 == 0, true);
+        }
+        assert_eq!(cm.spec(), 1.0);
+        assert!((cm.pvn() - 0.1).abs() < 1e-12);
+        assert_eq!(cm.sens(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::new();
+        a.record(true, true);
+        let mut b = ConfusionMatrix::new();
+        b.record(false, false);
+        b.record(true, false);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.miss_high, 1);
+        assert_eq!(a.correct_high, 1);
+        assert_eq!(a.miss_low, 1);
+    }
+
+    #[test]
+    fn pvn_and_spec_match_hand_computation() {
+        let cm = ConfusionMatrix {
+            correct_high: 850,
+            correct_low: 100,
+            miss_high: 10,
+            miss_low: 40,
+        };
+        assert!((cm.pvn() - 40.0 / 140.0).abs() < 1e-12);
+        assert!((cm.spec() - 40.0 / 50.0).abs() < 1e-12);
+        assert!((cm.misprediction_rate() - 0.05).abs() < 1e-12);
+    }
+}

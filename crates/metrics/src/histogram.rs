@@ -1,0 +1,324 @@
+use serde::{Deserialize, Serialize};
+
+/// Fixed-bin-width histogram over a closed integer range, used to plot
+/// the perceptron-output density functions of Figures 4–7.
+///
+/// Samples outside the configured range are clamped into the first or
+/// last bin so no observation is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use perconf_metrics::Histogram;
+///
+/// let mut h = Histogram::new(-100, 100, 10);
+/// h.add(-95);
+/// h.add(0);
+/// h.add(0);
+/// h.add(250); // clamped into the last bin
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin_containing(0).1, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: i64,
+    hi: i64,
+    bin_width: u32,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `[lo, hi)` with bins of `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bin_width == 0`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64, bin_width: u32) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bin_width > 0, "bin width must be positive");
+        let span = (hi - lo) as u64;
+        let n = span.div_ceil(u64::from(bin_width)) as usize;
+        Self {
+            lo,
+            hi,
+            bin_width,
+            bins: vec![0; n],
+            count: 0,
+        }
+    }
+
+    /// Adds one sample, clamping out-of-range values into the edge bins.
+    pub fn add(&mut self, value: i64) {
+        let idx = self.bin_index(value);
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    fn bin_index(&self, value: i64) -> usize {
+        let v = value.clamp(self.lo, self.hi - 1);
+        ((v - self.lo) as u64 / u64::from(self.bin_width)) as usize
+    }
+
+    /// Total number of samples added.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Returns `true` if no samples have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Returns `(bin_lower_edge, count)` for the bin containing `value`.
+    #[must_use]
+    pub fn bin_containing(&self, value: i64) -> (i64, u64) {
+        let idx = self.bin_index(value);
+        (self.edge(idx), self.bins[idx])
+    }
+
+    fn edge(&self, idx: usize) -> i64 {
+        self.lo + idx as i64 * i64::from(self.bin_width)
+    }
+
+    /// Iterates over `(bin_lower_edge, count)` pairs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.bins.iter().enumerate().map(|(i, &c)| (self.edge(i), c))
+    }
+
+    /// Sum of counts in bins whose lower edge lies in `[from, to)`.
+    #[must_use]
+    pub fn mass_in(&self, from: i64, to: i64) -> u64 {
+        self.iter()
+            .filter(|&(edge, _)| edge >= from && edge < to)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Lower edge of the fullest bin, or `None` when empty.
+    #[must_use]
+    pub fn mode(&self) -> Option<i64> {
+        if self.is_empty() {
+            return None;
+        }
+        self.iter().max_by_key(|&(_, c)| c).map(|(e, _)| e)
+    }
+
+    /// Mean of the samples, approximated by bin centres.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let half = f64::from(self.bin_width) / 2.0;
+        let sum: f64 = self
+            .iter()
+            .map(|(e, c)| (e as f64 + half) * c as f64)
+            .sum();
+        Some(sum / self.count as f64)
+    }
+
+    /// Renders a CSV body with `edge,count` lines.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bin,count\n");
+        for (edge, c) in self.iter() {
+            out.push_str(&format!("{edge},{c}\n"));
+        }
+        out
+    }
+}
+
+/// A pair of histograms over the same range: one for correctly
+/// predicted branches (CB) and one for mispredicted branches (MB), as
+/// plotted in Figures 4–7 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DensityPair {
+    /// Density of perceptron outputs for correctly predicted branches.
+    pub correct: Histogram,
+    /// Density of perceptron outputs for mispredicted branches.
+    pub mispredicted: Histogram,
+}
+
+impl DensityPair {
+    /// Creates an empty pair over `[lo, hi)` with the given bin width.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64, bin_width: u32) -> Self {
+        Self {
+            correct: Histogram::new(lo, hi, bin_width),
+            mispredicted: Histogram::new(lo, hi, bin_width),
+        }
+    }
+
+    /// Records one perceptron output sample.
+    pub fn add(&mut self, output: i64, mispredicted: bool) {
+        if mispredicted {
+            self.mispredicted.add(output);
+        } else {
+            self.correct.add(output);
+        }
+    }
+
+    /// Renders a CSV body with `edge,correct,mispredicted` lines.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bin,correct,mispredicted\n");
+        for ((edge, cb), (_, mb)) in self.correct.iter().zip(self.mispredicted.iter()) {
+            out.push_str(&format!("{edge},{cb},{mb}\n"));
+        }
+        out
+    }
+
+    /// Renders a two-column ASCII density plot, each column normalised
+    /// to its own maximum (the paper plots CB and MB on different
+    /// scales for the same reason: MB counts are far smaller).
+    #[must_use]
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max_cb = self.correct.iter().map(|(_, c)| c).max().unwrap_or(0).max(1);
+        let max_mb = self
+            .mispredicted
+            .iter()
+            .map(|(_, c)| c)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut out = format!(
+            "{:>8} | {:<w$} | {:<w$}\n",
+            "bin",
+            "CB (correctly predicted)",
+            "MB (mispredicted)",
+            w = width
+        );
+        for ((edge, cb), (_, mb)) in self.correct.iter().zip(self.mispredicted.iter()) {
+            let cbar = "#".repeat((cb * width as u64 / max_cb) as usize);
+            let mbar = "#".repeat((mb * width as u64 / max_mb) as usize);
+            out.push_str(&format!(
+                "{edge:>8} | {cbar:<w$} | {mbar:<w$}\n",
+                w = width
+            ));
+        }
+        out
+    }
+
+    /// Ratio of mispredicted to correct mass in `[from, to)`; used to
+    /// identify the reversal / gating / high-confidence regions of
+    /// Figure 5. Returns `None` if there is no correct mass there.
+    #[must_use]
+    pub fn mb_cb_ratio(&self, from: i64, to: i64) -> Option<f64> {
+        let cb = self.correct.mass_in(from, to);
+        let mb = self.mispredicted.mass_in(from, to);
+        if cb == 0 {
+            None
+        } else {
+            Some(mb as f64 / cb as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_range() {
+        let h = Histogram::new(-50, 50, 10);
+        assert_eq!(h.len(), 10);
+        let h = Histogram::new(-50, 55, 10);
+        assert_eq!(h.len(), 11);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_to_edges() {
+        let mut h = Histogram::new(0, 100, 10);
+        h.add(-1000);
+        h.add(1000);
+        assert_eq!(h.bin_containing(0).1, 1);
+        assert_eq!(h.bin_containing(99).1, 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn negative_edges_bin_correctly() {
+        let mut h = Histogram::new(-30, 30, 10);
+        h.add(-30);
+        h.add(-21);
+        h.add(-1);
+        h.add(0);
+        assert_eq!(h.bin_containing(-30).0, -30);
+        assert_eq!(h.bin_containing(-30).1, 2);
+        assert_eq!(h.bin_containing(-1).0, -10);
+        assert_eq!(h.bin_containing(-1).1, 1);
+        assert_eq!(h.bin_containing(0).0, 0);
+        assert_eq!(h.bin_containing(0).1, 1);
+    }
+
+    #[test]
+    fn mass_in_sums_expected_bins() {
+        let mut h = Histogram::new(0, 40, 10);
+        for v in [1, 11, 12, 25, 39] {
+            h.add(v);
+        }
+        assert_eq!(h.mass_in(0, 20), 3);
+        assert_eq!(h.mass_in(20, 40), 2);
+        assert_eq!(h.mass_in(0, 40), 5);
+    }
+
+    #[test]
+    fn mode_and_mean() {
+        let mut h = Histogram::new(0, 30, 10);
+        h.add(5);
+        h.add(15);
+        h.add(16);
+        assert_eq!(h.mode(), Some(10));
+        let m = h.mean().unwrap();
+        assert!((m - (5.0 + 15.0 + 15.0) / 3.0).abs() < 1e-9);
+        assert_eq!(Histogram::new(0, 10, 1).mean(), None);
+    }
+
+    #[test]
+    fn density_pair_routes_by_outcome() {
+        let mut d = DensityPair::new(-10, 10, 5);
+        d.add(-7, false);
+        d.add(3, true);
+        d.add(3, true);
+        assert_eq!(d.correct.count(), 1);
+        assert_eq!(d.mispredicted.count(), 2);
+        assert_eq!(d.mb_cb_ratio(-10, 10), Some(2.0));
+        assert_eq!(d.mb_cb_ratio(0, 10), None); // no CB mass there
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let mut d = DensityPair::new(0, 20, 10);
+        d.add(5, false);
+        d.add(15, true);
+        let csv = d.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "bin,correct,mispredicted");
+        assert_eq!(lines[1], "0,1,0");
+        assert_eq!(lines[2], "10,0,1");
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_bin() {
+        let mut d = DensityPair::new(0, 30, 10);
+        d.add(5, false);
+        let s = d.to_ascii(20);
+        assert_eq!(s.trim().lines().count(), 4); // header + 3 bins
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(5, 5, 1);
+    }
+}

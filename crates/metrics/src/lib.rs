@@ -1,0 +1,42 @@
+//! Metrics for evaluating branch confidence estimators.
+//!
+//! This crate provides the measurement vocabulary used throughout the
+//! reproduction of *Perceptron-Based Branch Confidence Estimation*
+//! (Akkary et al., HPCA 2004):
+//!
+//! * [`ConfusionMatrix`] — the four-quadrant tally of (predicted
+//!   correctly / mispredicted) × (high confidence / low confidence),
+//!   from which the paper's two primary metrics are derived:
+//!   **PVN** (predictive value of a negative test, "accuracy") and
+//!   **Spec** (specificity, "mispredicted branch coverage").
+//! * [`Histogram`] — fixed-bin-width density functions of perceptron
+//!   outputs, used for Figures 4–7.
+//! * [`Table`] — plain-text table rendering so every experiment driver
+//!   can print rows in the same shape the paper reports.
+//! * [`stats`] — means (arithmetic, weighted, geometric) used for the
+//!   cross-benchmark averages the paper quotes.
+//!
+//! # Examples
+//!
+//! ```
+//! use perconf_metrics::ConfusionMatrix;
+//!
+//! let mut cm = ConfusionMatrix::new();
+//! cm.record(true, true);   // mispredicted branch flagged low confidence
+//! cm.record(false, false); // correctly predicted branch flagged high confidence
+//! assert_eq!(cm.pvn(), 1.0);
+//! assert_eq!(cm.spec(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confusion;
+mod histogram;
+pub mod stats;
+pub mod svg;
+mod table;
+
+pub use confusion::ConfusionMatrix;
+pub use histogram::{DensityPair, Histogram};
+pub use table::{pct, Align, Table};

@@ -1,0 +1,139 @@
+//! Summary statistics used for the paper's cross-benchmark averages.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(perconf_metrics::stats::mean(&[1.0, 3.0]), Some(2.0));
+/// assert_eq!(perconf_metrics::stats::mean(&[]), None);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Weighted arithmetic mean; `None` if the inputs are empty, of
+/// different lengths, or the weights sum to zero.
+///
+/// The paper's "weighted average" bars in Figures 8–9 weight each
+/// benchmark by its share of executed uops.
+#[must_use]
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.len() != ws.len() {
+        return None;
+    }
+    let wsum: f64 = ws.iter().sum();
+    if wsum == 0.0 {
+        return None;
+    }
+    Some(xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum)
+}
+
+/// Geometric mean of strictly positive values; `None` if empty or any
+/// value is non-positive.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Harmonic mean of strictly positive values; `None` if empty or any
+/// value is non-positive. Appropriate for averaging rates such as IPC.
+#[must_use]
+pub fn harmonic_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some(xs.len() as f64 / xs.iter().map(|&x| 1.0 / x).sum::<f64>())
+}
+
+/// Sample standard deviation; `None` with fewer than two samples.
+///
+/// # Examples
+///
+/// ```
+/// let sd = perconf_metrics::stats::stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((sd - 2.138).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Relative change from `base` to `new`, as a fraction: positive when
+/// `new > base`. Returns 0.0 when `base` is 0.
+///
+/// Used for speedups (`rel_change(base_cycles, new_cycles)` negated) and
+/// uop reductions.
+#[must_use]
+pub fn rel_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), Some(4.0));
+    }
+
+    #[test]
+    fn weighted_mean_weights_dominate() {
+        let m = weighted_mean(&[1.0, 100.0], &[0.0, 1.0]).unwrap();
+        assert_eq!(m, 100.0);
+        assert_eq!(weighted_mean(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(weighted_mean(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn harmonic_basic() {
+        let h = harmonic_mean(&[1.0, 1.0]).unwrap();
+        assert!((h - 1.0).abs() < 1e-12);
+        let h = harmonic_mean(&[2.0, 6.0]).unwrap();
+        assert!((h - 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[-1.0]), None);
+    }
+
+    #[test]
+    fn stddev_matches_reference() {
+        assert_eq!(stddev(&[1.0]), None);
+        let sd = stddev(&[1.0, 1.0, 1.0]).unwrap();
+        assert!(sd.abs() < 1e-12);
+        let sd = stddev(&[1.0, 3.0]).unwrap();
+        assert!((sd - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rel_change_signs() {
+        assert!((rel_change(100.0, 90.0) + 0.1).abs() < 1e-12);
+        assert!((rel_change(100.0, 110.0) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_change(0.0, 5.0), 0.0);
+    }
+}

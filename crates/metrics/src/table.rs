@@ -1,0 +1,207 @@
+/// Column alignment for [`Table`] rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Align {
+    /// Left-aligned (default; used for name columns).
+    #[default]
+    Left,
+    /// Right-aligned (used for numeric columns).
+    Right,
+}
+
+/// Minimal plain-text table builder used by every experiment driver so
+/// reproduced tables print in a uniform shape.
+///
+/// # Examples
+///
+/// ```
+/// use perconf_metrics::{Align, Table};
+///
+/// let mut t = Table::new(vec!["bench".into(), "MPKu".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["gcc".into(), "2.3".into()]);
+/// let s = t.render();
+/// assert!(s.contains("gcc"));
+/// assert!(s.contains("MPKu"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        let aligns = vec![Align::Left; headers.len()];
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    #[must_use]
+    pub fn with_headers(headers: &[&str]) -> Self {
+        Self::new(headers.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    /// Sets the alignment of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn align(&mut self, idx: usize, align: Align) -> &mut Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Right-aligns every column except the first (the common shape for
+    /// benchmark tables).
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header rule.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        render_row(&mut out, &self.headers, &widths, &self.aligns);
+        let rule_len = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]) {
+    let mut first = true;
+    for ((cell, &w), &a) in cells.iter().zip(widths).zip(aligns) {
+        if !first {
+            out.push_str("   ");
+        }
+        first = false;
+        match a {
+            Align::Left => out.push_str(&format!("{cell:<w$}")),
+            Align::Right => out.push_str(&format!("{cell:>w$}")),
+        }
+    }
+    // Trim trailing padding for clean diffs.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.083` →
+/// `"8.3"`.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_rule_and_rows() {
+        let mut t = Table::with_headers(&["a", "bb"]);
+        t.row(vec!["x".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let mut t = Table::with_headers(&["name", "val"]);
+        t.align(1, Align::Right);
+        t.row(vec!["x".into(), "7".into()]);
+        let s = t.render();
+        assert!(s.lines().nth(2).unwrap().ends_with('7'));
+    }
+
+    #[test]
+    fn numeric_right_aligns_all_but_first() {
+        let mut t = Table::with_headers(&["n", "a", "b"]);
+        t.numeric();
+        assert_eq!(t.aligns, vec![Align::Left, Align::Right, Align::Right]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::with_headers(&["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::with_headers(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn pct_formats_one_decimal() {
+        assert_eq!(pct(0.083), "8.3");
+        assert_eq!(pct(1.0), "100.0");
+        assert_eq!(pct(-0.02), "-2.0");
+    }
+}

@@ -1,0 +1,466 @@
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        let s = self.size_bytes / u64::from(self.assoc) / u64::from(self.line_bytes);
+        assert!(s > 0, "cache must have at least one set");
+        s
+    }
+}
+
+/// A set-associative, LRU, write-allocate cache model that tracks tags
+/// only (no data — the simulator needs latencies, not values).
+///
+/// # Examples
+///
+/// ```
+/// use perconf_pipeline::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { size_bytes: 4096, assoc: 2, line_bytes: 64 });
+/// assert!(!c.access(0x1000)); // cold miss (and fill)
+/// assert!(c.access(0x1000));  // now a hit
+/// assert!(c.access(0x1004));  // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    // sets[set] is a MRU-ordered list of line addresses.
+    sets: Vec<Vec<u64>>,
+    line_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two, `assoc` is zero,
+    /// or the geometry yields no sets or a non-power-of-two set count.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(cfg.assoc > 0, "associativity must be positive");
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(cfg.assoc as usize); sets as usize],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            cfg,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn line(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Accesses `addr`: returns `true` on hit. On miss the line is
+    /// filled (write-allocate), evicting the LRU way if needed. LRU
+    /// state is updated either way.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = self.line(addr);
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            // Move to MRU position.
+            ways.remove(pos);
+            ways.insert(0, line);
+            self.hits += 1;
+            true
+        } else {
+            ways.insert(0, line);
+            if ways.len() > self.cfg.assoc as usize {
+                ways.pop();
+            }
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Fills `addr`'s line without counting a demand access (used by
+    /// the prefetcher). No-op if already present (refreshes LRU).
+    pub fn insert(&mut self, addr: u64) {
+        let line = self.line(addr);
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            ways.remove(pos);
+        }
+        ways.insert(0, line);
+        if ways.len() > self.cfg.assoc as usize {
+            ways.pop();
+        }
+    }
+
+    /// Checks for presence without touching LRU or counters.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line(addr);
+        self.sets[self.set_of(line)].contains(&line)
+    }
+
+    /// Demand hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u32 {
+        self.cfg.line_bytes
+    }
+}
+
+/// Hardware stream prefetcher: tracks up to N sequential miss streams
+/// and prefetches ahead on a confirmed stream (paper Table 1:
+/// "stream-based, 16 streams").
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    // (next expected line, confirmed)
+    streams: Vec<(u64, bool)>,
+    next_victim: usize,
+    degree: u32,
+    issued: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a prefetcher with `streams` stream slots prefetching
+    /// `degree` lines ahead on each confirmed miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` or `degree` is zero.
+    #[must_use]
+    pub fn new(streams: usize, degree: u32) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        assert!(degree > 0, "prefetch degree must be positive");
+        Self {
+            streams: vec![(u64::MAX, false); streams],
+            next_victim: 0,
+            degree,
+            issued: 0,
+        }
+    }
+
+    /// Notifies the prefetcher of a demand access on `line`; returns
+    /// the lines to prefetch (empty until a stream is confirmed).
+    ///
+    /// A stream advances whenever the access matches its expected next
+    /// line — **including hits to previously prefetched lines** — so a
+    /// confirmed stream stays ahead of the demand front indefinitely.
+    /// New candidate streams are allocated only on misses.
+    pub fn on_access(&mut self, line: u64, was_miss: bool) -> Vec<u64> {
+        if let Some(s) = self.streams.iter_mut().find(|s| s.0 == line) {
+            // Stream confirmed (or continuing): advance and run ahead.
+            s.0 = line + 1;
+            s.1 = true;
+            let out: Vec<u64> = (1..=u64::from(self.degree)).map(|d| line + d).collect();
+            self.issued += out.len() as u64;
+            return out;
+        }
+        if was_miss {
+            // Allocate a new candidate stream expecting the next line.
+            // Confirmed streams are protected: random misses may only
+            // evict unconfirmed candidates unless every slot is
+            // confirmed.
+            let n = self.streams.len();
+            let v = (0..n)
+                .map(|i| (self.next_victim + i) % n)
+                .find(|&i| !self.streams[i].1)
+                .unwrap_or(self.next_victim);
+            self.next_victim = (v + 1) % n;
+            self.streams[v] = (line + 1, false);
+        }
+        Vec::new()
+    }
+
+    /// Total prefetches issued.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// Configuration of the full data-memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemHierarchyConfig {
+    /// L1 data cache geometry (Table 1: 32K, 8-way, 64-byte lines).
+    pub l1: CacheConfig,
+    /// Unified L2 geometry (Table 1: 1M, 8-way, 64-byte lines).
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// Additional cycles for an L2 hit.
+    pub l2_latency: u32,
+    /// Additional cycles for a memory access.
+    pub mem_latency: u32,
+    /// Number of prefetch streams (0 disables prefetching).
+    pub prefetch_streams: u32,
+    /// Prefetch degree (lines ahead per confirmed miss).
+    pub prefetch_degree: u32,
+}
+
+impl Default for MemHierarchyConfig {
+    /// The paper's Table 1 memory subsystem.
+    fn default() -> Self {
+        Self {
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+            },
+            l1_latency: 3,
+            l2_latency: 12,
+            mem_latency: 180,
+            prefetch_streams: 16,
+            prefetch_degree: 4,
+        }
+    }
+}
+
+/// Two-level data cache hierarchy with a stream prefetcher filling
+/// into L2.
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    cfg: MemHierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    prefetcher: Option<StreamPrefetcher>,
+}
+
+impl MemHierarchy {
+    /// Builds the hierarchy.
+    #[must_use]
+    pub fn new(cfg: MemHierarchyConfig) -> Self {
+        Self {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            prefetcher: if cfg.prefetch_streams > 0 {
+                Some(StreamPrefetcher::new(
+                    cfg.prefetch_streams as usize,
+                    cfg.prefetch_degree,
+                ))
+            } else {
+                None
+            },
+            cfg,
+        }
+    }
+
+    /// Performs a load and returns its latency in cycles.
+    pub fn load(&mut self, addr: u64) -> u32 {
+        let hit = self.l1.access(addr);
+        self.notify_prefetcher(addr, !hit);
+        if hit {
+            return self.cfg.l1_latency;
+        }
+        if self.l2.access(addr) {
+            self.cfg.l1_latency + self.cfg.l2_latency
+        } else {
+            self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.mem_latency
+        }
+    }
+
+    fn notify_prefetcher(&mut self, addr: u64, was_miss: bool) {
+        let line = addr >> self.l1.line_shift;
+        if let Some(pf) = &mut self.prefetcher {
+            let lb = u64::from(self.cfg.l2.line_bytes);
+            for pline in pf.on_access(line, was_miss) {
+                // Stream prefetches fill both levels, like the L1
+                // streaming buffers of P4-class machines.
+                self.l2.insert(pline * lb);
+                self.l1.insert(pline * lb);
+            }
+        }
+    }
+
+    /// Performs a store: updates cache state (write-allocate) but
+    /// returns no latency — store completion is hidden by the store
+    /// buffer in the pipeline model.
+    pub fn store(&mut self, addr: u64) {
+        let hit = self.l1.access(addr);
+        self.notify_prefetcher(addr, !hit);
+        if !hit {
+            let _ = self.l2.access(addr);
+        }
+    }
+
+    /// The L1 cache (for inspection in tests/experiments).
+    #[must_use]
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 cache.
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 2 * 64 * 4, // 4 sets, 2 ways
+            assoc: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(!c.access(0x0));
+        assert!(c.access(0x0));
+        assert!(c.access(0x3F)); // same line
+        assert!(!c.access(0x40)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to the same set (4 sets, 64B lines →
+        // stride 256 aliases).
+        let a = 0x000;
+        let b = 0x400;
+        let d = 0x800;
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is MRU, b is LRU
+        c.access(d); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn insert_does_not_count_demand() {
+        let mut c = small();
+        c.insert(0x0);
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(0x0));
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn prefetcher_confirms_on_second_sequential_miss() {
+        let mut pf = StreamPrefetcher::new(4, 2);
+        assert!(pf.on_access(100, true).is_empty()); // allocates stream → 101
+        let out = pf.on_access(101, true); // confirmed
+        assert_eq!(out, vec![102, 103]);
+        assert_eq!(pf.issued(), 2);
+    }
+
+    #[test]
+    fn prefetcher_advances_on_hits_to_prefetched_lines() {
+        let mut pf = StreamPrefetcher::new(4, 2);
+        let _ = pf.on_access(100, true);
+        let _ = pf.on_access(101, true);
+        // Line 102 was prefetched — it arrives as a *hit*, and the
+        // stream must keep running ahead anyway.
+        let out = pf.on_access(102, false);
+        assert_eq!(out, vec![103, 104]);
+    }
+
+    #[test]
+    fn prefetcher_ignores_random_misses() {
+        let mut pf = StreamPrefetcher::new(4, 2);
+        assert!(pf.on_access(10, true).is_empty());
+        assert!(pf.on_access(500, true).is_empty());
+        assert!(pf.on_access(90, true).is_empty());
+    }
+
+    #[test]
+    fn prefetcher_does_not_allocate_on_hits() {
+        let mut pf = StreamPrefetcher::new(1, 2);
+        assert!(pf.on_access(10, false).is_empty());
+        // The single slot is still free for a real miss stream.
+        let _ = pf.on_access(20, true);
+        assert_eq!(pf.on_access(21, true), vec![22, 23]);
+    }
+
+    #[test]
+    fn hierarchy_latencies_are_ordered() {
+        let mut h = MemHierarchy::new(MemHierarchyConfig::default());
+        let miss = h.load(0x10_0000);
+        let hit = h.load(0x10_0000);
+        assert!(miss > hit);
+        assert_eq!(hit, 3);
+        assert_eq!(miss, 3 + 12 + 180);
+    }
+
+    #[test]
+    fn sequential_stream_gets_prefetched_into_l2() {
+        let mut h = MemHierarchy::new(MemHierarchyConfig::default());
+        // Walk sequential lines; after confirmation the L2 should be
+        // warmed ahead so misses cost only L1+L2.
+        let mut full_misses = 0;
+        for i in 0..32u64 {
+            let lat = h.load(i * 64);
+            if lat > 3 + 14 {
+                full_misses += 1;
+            }
+        }
+        assert!(full_misses <= 3, "full_misses={full_misses}");
+    }
+
+    #[test]
+    fn store_fills_l1() {
+        let mut h = MemHierarchy::new(MemHierarchyConfig::default());
+        h.store(0x40);
+        assert_eq!(h.load(0x40), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            assoc: 2,
+            line_bytes: 48,
+        });
+    }
+}

@@ -1,0 +1,200 @@
+use crate::cache::MemHierarchyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Pipeline-gating parameters (paper Figure 1 and §5.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GatingConfig {
+    /// Low-confidence branch counter threshold — the `n` of the
+    /// paper's `PLn` notation (gate fetch while `count >= n`).
+    pub counter_threshold: u32,
+    /// Confidence-estimator latency in cycles: a fetched branch's
+    /// low-confidence flag becomes visible to the gate this many
+    /// cycles after fetch (§5.4.2 compares 1 vs 9).
+    pub ce_latency: u32,
+}
+
+impl Default for GatingConfig {
+    fn default() -> Self {
+        Self {
+            counter_threshold: 1,
+            ce_latency: 1,
+        }
+    }
+}
+
+/// Full structural configuration of the simulated processor.
+///
+/// The defaults follow the paper's Table 1 baseline; use
+/// [`with_depth_width`](Self::with_depth_width) for the three pipeline
+/// shapes the paper studies (20-cycle 4-wide, 20-cycle 8-wide,
+/// 40-cycle 4-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Fetch/issue/retire width in uops per cycle.
+    pub width: u32,
+    /// Front-end depth: cycles from fetch to dispatch. The paper's
+    /// "N-cycle pipeline" is the branch-misprediction pipeline length;
+    /// the constructor maps it to `N - BACKEND_STAGES`.
+    pub frontend_depth: u32,
+    /// Reorder-buffer capacity (Table 1: 128).
+    pub rob_size: usize,
+    /// Load-buffer capacity (Table 1: 48).
+    pub load_buffers: usize,
+    /// Store-buffer capacity (Table 1: 32).
+    pub store_buffers: usize,
+    /// Integer scheduling-window size (Table 1: 48).
+    pub sched_int: usize,
+    /// Memory scheduling-window size (Table 1: 24).
+    pub sched_mem: usize,
+    /// FP scheduling-window size (Table 1: 56).
+    pub sched_fp: usize,
+    /// Integer execution units (Table 1: 3).
+    pub units_int: u32,
+    /// Memory execution units (Table 1: 2).
+    pub units_mem: u32,
+    /// FP execution units (Table 1: 1).
+    pub units_fp: u32,
+    /// Pipeline gating; `None` disables gating entirely.
+    pub gating: Option<GatingConfig>,
+    /// Memory hierarchy.
+    pub mem: MemHierarchyConfig,
+    /// When `Some((lo, hi, bin))`, collect the estimator-output density
+    /// histograms of Figures 4–7 over that range at retirement.
+    pub density: Option<(i64, i64, u32)>,
+}
+
+/// Back-end stages (issue, execute, writeback, retire and redirect
+/// overhead) assumed when translating the paper's "N-cycle pipeline"
+/// into a front-end depth.
+pub const BACKEND_STAGES: u32 = 6;
+
+impl PipelineConfig {
+    /// Builds a configuration for the paper's "`depth`-cycle,
+    /// `width`-wide" pipeline with Table 1 resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth <= BACKEND_STAGES` or `width == 0`.
+    #[must_use]
+    pub fn with_depth_width(depth: u32, width: u32) -> Self {
+        assert!(
+            depth > BACKEND_STAGES,
+            "pipeline depth must exceed the back-end stage count"
+        );
+        assert!(width > 0, "width must be positive");
+        Self {
+            width,
+            frontend_depth: depth - BACKEND_STAGES,
+            rob_size: 128,
+            load_buffers: 48,
+            store_buffers: 32,
+            sched_int: 48,
+            sched_mem: 24,
+            sched_fp: 56,
+            units_int: 3,
+            units_mem: 2,
+            units_fp: 1,
+            gating: None,
+            mem: MemHierarchyConfig::default(),
+            density: None,
+        }
+    }
+
+    /// The paper's deep baseline: 40-cycle, 4-wide (most results).
+    #[must_use]
+    pub fn deep() -> Self {
+        Self::with_depth_width(40, 4)
+    }
+
+    /// The paper's wide machine: 20-cycle, 8-wide (§5.5, Figure 9).
+    #[must_use]
+    pub fn wide() -> Self {
+        Self::with_depth_width(20, 8)
+    }
+
+    /// The paper's shallow reference: 20-cycle, 4-wide (Table 2).
+    #[must_use]
+    pub fn shallow() -> Self {
+        Self::with_depth_width(20, 4)
+    }
+
+    /// Enables gating with the given `PLn` counter threshold.
+    #[must_use]
+    pub fn gated(mut self, counter_threshold: u32) -> Self {
+        self.gating = Some(GatingConfig {
+            counter_threshold,
+            ce_latency: 1,
+        });
+        self
+    }
+
+    /// Sets the confidence-estimator latency (requires gating enabled).
+    #[must_use]
+    pub fn with_ce_latency(mut self, ce_latency: u32) -> Self {
+        if let Some(g) = &mut self.gating {
+            g.ce_latency = ce_latency;
+        }
+        self
+    }
+
+    /// Enables density collection over `[lo, hi)` with `bin`-wide bins.
+    #[must_use]
+    pub fn with_density(mut self, lo: i64, hi: i64, bin: u32) -> Self {
+        self.density = Some((lo, hi, bin));
+        self
+    }
+
+    /// Front-end pipe capacity in uops.
+    #[must_use]
+    pub fn frontend_capacity(&self) -> usize {
+        (self.frontend_depth * self.width) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_shapes() {
+        assert_eq!(PipelineConfig::deep().width, 4);
+        assert_eq!(PipelineConfig::deep().frontend_depth, 34);
+        assert_eq!(PipelineConfig::wide().width, 8);
+        assert_eq!(PipelineConfig::wide().frontend_depth, 14);
+        assert_eq!(PipelineConfig::shallow().frontend_depth, 14);
+    }
+
+    #[test]
+    fn table1_resources() {
+        let c = PipelineConfig::deep();
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.load_buffers, 48);
+        assert_eq!(c.store_buffers, 32);
+        assert_eq!((c.units_int, c.units_mem, c.units_fp), (3, 2, 1));
+    }
+
+    #[test]
+    fn gated_builder_sets_threshold() {
+        let c = PipelineConfig::deep().gated(2).with_ce_latency(9);
+        let g = c.gating.unwrap();
+        assert_eq!(g.counter_threshold, 2);
+        assert_eq!(g.ce_latency, 9);
+    }
+
+    #[test]
+    fn ce_latency_without_gating_is_noop() {
+        let c = PipelineConfig::deep().with_ce_latency(9);
+        assert!(c.gating.is_none());
+    }
+
+    #[test]
+    fn frontend_capacity() {
+        assert_eq!(PipelineConfig::deep().frontend_capacity(), 34 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn too_shallow_panics() {
+        let _ = PipelineConfig::with_depth_width(6, 4);
+    }
+}

@@ -1,0 +1,762 @@
+use crate::cache::MemHierarchy;
+use crate::config::PipelineConfig;
+use crate::stats::SimStats;
+use perconf_bpred::BranchPredictor;
+use perconf_core::{
+    AlwaysHigh, BranchDecision, ConfidenceEstimator, GateCounter, SpeculationController,
+};
+use perconf_metrics::DensityPair;
+use perconf_workload::{Uop, UopKind, WorkloadConfig, WorkloadGenerator};
+use std::collections::{HashSet, VecDeque};
+
+/// The boxed predictor + estimator combination the simulator drives.
+pub type Controller =
+    SpeculationController<Box<dyn BranchPredictor>, Box<dyn ConfidenceEstimator>>;
+
+/// Sequence-status window size; must exceed the maximum number of
+/// in-flight uops by a wide margin so live slots are never reused.
+const STATUS_WINDOW: usize = 1 << 14;
+
+/// Dependence-distance ring mapping recent correct-path uop indices to
+/// global sequence numbers. Must exceed the generator's maximum
+/// dependence distance.
+const CP_RING: usize = 128;
+
+#[derive(Debug, Clone, Copy)]
+struct SlotStatus {
+    seq: u64,
+    completed: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Int,
+    Mem,
+    Fp,
+}
+
+fn class_of(kind: UopKind) -> Class {
+    match kind {
+        UopKind::IntAlu | UopKind::IntMul | UopKind::Branch => Class::Int,
+        UopKind::Load | UopKind::Store => Class::Mem,
+        UopKind::Fp => Class::Fp,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    seq: u64,
+    uop: Uop,
+    wrong_path: bool,
+    decision: Option<BranchDecision>,
+    prod1: Option<u64>,
+    prod2: Option<u64>,
+    /// Earliest dispatch cycle (front-end pipe exit).
+    arrival: u64,
+    issued: bool,
+    completed: bool,
+    complete_at: u64,
+    fetched_at: u64,
+}
+
+/// One simulated processor running one benchmark workload.
+///
+/// Construct with a [`PipelineConfig`], a workload configuration, and
+/// a [`Controller`] (branch predictor + confidence estimator); then
+/// [`warmup`](Self::warmup) and [`run`](Self::run).
+///
+/// See the crate docs for the modelled microarchitecture.
+pub struct Simulation {
+    cfg: PipelineConfig,
+    gen: WorkloadGenerator,
+    ctl: Controller,
+    mem: MemHierarchy,
+    frontend: VecDeque<Inflight>,
+    rob: VecDeque<Inflight>,
+    status: Vec<SlotStatus>,
+    cp_ring: [u64; CP_RING],
+    cp_index: u64,
+    gate: GateCounter,
+    gate_pending: VecDeque<(u64, u64)>,
+    gate_counted: HashSet<u64>,
+    fetch_history: u64,
+    wrong_path_since: Option<u64>,
+    restore_history: u64,
+    redirect_until: u64,
+    now: u64,
+    next_seq: u64,
+    sched_occ: [usize; 3],
+    ldq_occ: usize,
+    stq_occ: usize,
+    stats: SimStats,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cycle", &self.now)
+            .field("retired", &self.stats.retired)
+            .field("rob", &self.rob.len())
+            .field("frontend", &self.frontend.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation of `cfg` running `workload` under the given
+    /// predictor/estimator controller.
+    #[must_use]
+    pub fn new(cfg: PipelineConfig, workload: &WorkloadConfig, ctl: Controller) -> Self {
+        let mut stats = SimStats::default();
+        if let Some((lo, hi, bin)) = cfg.density {
+            stats.density = Some(DensityPair::new(lo, hi, bin));
+        }
+        Self {
+            gen: WorkloadGenerator::new(workload),
+            ctl,
+            mem: MemHierarchy::new(cfg.mem),
+            frontend: VecDeque::with_capacity(cfg.frontend_capacity() + 8),
+            rob: VecDeque::with_capacity(cfg.rob_size + 8),
+            status: vec![
+                SlotStatus {
+                    seq: u64::MAX,
+                    completed: true,
+                };
+                STATUS_WINDOW
+            ],
+            cp_ring: [u64::MAX; CP_RING],
+            cp_index: 0,
+            gate: GateCounter::new(cfg.gating.map_or(1, |g| g.counter_threshold)),
+            gate_pending: VecDeque::new(),
+            gate_counted: HashSet::new(),
+            fetch_history: 0,
+            wrong_path_since: None,
+            restore_history: 0,
+            redirect_until: 0,
+            now: 0,
+            next_seq: 0,
+            sched_occ: [0; 3],
+            ldq_occ: 0,
+            stq_occ: 0,
+            cfg,
+            stats,
+        }
+    }
+
+    /// Builds a simulation with the paper's baseline bimodal–gshare
+    /// predictor and a no-op (always-high) estimator.
+    #[must_use]
+    pub fn with_defaults(cfg: PipelineConfig, workload: &WorkloadConfig) -> Self {
+        let ctl = SpeculationController::new(
+            Box::new(perconf_bpred::baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>,
+        );
+        Self::new(cfg, workload, ctl)
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The configuration being simulated.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The controller (predictor + estimator), e.g. for inspecting
+    /// learned state after a run.
+    #[must_use]
+    pub fn controller(&self) -> &Controller {
+        &self.ctl
+    }
+
+    /// The memory hierarchy (for inspecting hit rates).
+    #[must_use]
+    pub fn mem(&self) -> &MemHierarchy {
+        &self.mem
+    }
+
+    /// Runs until `uops` further correct-path uops retire; returns the
+    /// accumulated stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline stops making progress (a bug guard: a
+    /// leaked gate counter or dependence cycle would otherwise hang).
+    pub fn run(&mut self, uops: u64) -> &SimStats {
+        let target = self.stats.retired + uops;
+        let deadline = self.now + uops.max(1_000) * 400;
+        while self.stats.retired < target {
+            self.step();
+            assert!(
+                self.now < deadline,
+                "simulation stalled: retired {}/{} at cycle {}",
+                self.stats.retired,
+                target,
+                self.now
+            );
+        }
+        &self.stats
+    }
+
+    /// Runs `uops` to warm caches, predictors and estimators, then
+    /// clears the statistics (the paper warms with 10M of each 30M
+    /// trace).
+    pub fn warmup(&mut self, uops: u64) {
+        self.run(uops);
+        self.stats.reset();
+        if let Some((lo, hi, bin)) = self.cfg.density {
+            self.stats.density = Some(DensityPair::new(lo, hi, bin));
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.retire();
+        self.complete_and_resolve();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.stats.cycles += 1;
+    }
+
+    // ----- pipeline stages (back to front) --------------------------
+
+    fn retire(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            if !(head.completed && head.complete_at < self.now) {
+                break;
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            debug_assert!(!e.wrong_path, "wrong-path uop reached retirement");
+            match e.uop.kind {
+                UopKind::Load => self.ldq_occ -= 1,
+                UopKind::Store => self.stq_occ -= 1,
+                _ => {}
+            }
+            self.stats.retired += 1;
+            if let Some(d) = e.decision {
+                let actual = e.uop.branch.expect("branch uop has payload").taken;
+                let out = self.ctl.train(&d, actual);
+                self.stats.branches_retired += 1;
+                if out.base_mispredicted {
+                    self.stats.base_mispredicts += 1;
+                }
+                if out.speculated_mispredicted {
+                    self.stats.speculated_mispredicts += 1;
+                }
+                if d.reversed() {
+                    self.stats.reversals += 1;
+                    if out.base_mispredicted {
+                        self.stats.reversals_good += 1;
+                    } else {
+                        self.stats.reversals_bad += 1;
+                    }
+                }
+                self.stats
+                    .confusion
+                    .record(out.base_mispredicted, d.estimate.is_low());
+                if let Some(density) = &mut self.stats.density {
+                    density.add(i64::from(d.estimate.raw), out.base_mispredicted);
+                }
+            }
+            n += 1;
+        }
+        if n == 0 {
+            self.account_retire_stall();
+        }
+    }
+
+    /// Classifies why retirement made no progress this cycle, for the
+    /// stall-breakdown counters.
+    fn account_retire_stall(&mut self) {
+        let Some(head) = self.rob.front() else {
+            self.stats.stall_empty += 1;
+            return;
+        };
+        if !head.issued {
+            let ready = head.prod1.is_none_or(|p| self.is_complete(p))
+                && head.prod2.is_none_or(|p| self.is_complete(p));
+            if ready {
+                self.stats.stall_fu += 1;
+            } else {
+                self.stats.stall_deps += 1;
+            }
+        } else if head.uop.kind == UopKind::Load {
+            self.stats.stall_load += 1;
+        } else {
+            self.stats.stall_exec += 1;
+        }
+    }
+
+    fn complete_and_resolve(&mut self) {
+        // Oldest-first: find the first entry completing this cycle.
+        while let Some(idx) = self
+            .rob
+            .iter()
+            .position(|e| e.issued && !e.completed && e.complete_at <= self.now)
+        {
+            let (seq, is_branch, wrong_path) = {
+                let e = &mut self.rob[idx];
+                e.completed = true;
+                (e.seq, e.uop.kind == UopKind::Branch, e.wrong_path)
+            };
+            self.mark_complete(seq);
+            if is_branch {
+                self.release_gate(seq);
+                let mispredicted_boundary = {
+                    let e = &self.rob[idx];
+                    match (&e.decision, e.uop.branch) {
+                        (Some(d), Some(br)) if !wrong_path => d.speculated_taken != br.taken,
+                        _ => false,
+                    }
+                };
+                if mispredicted_boundary {
+                    debug_assert_eq!(self.wrong_path_since, Some(seq));
+                    self.stats.resolution_delay_sum += self.now - self.rob[idx].fetched_at;
+                    self.squash_after(seq);
+                    self.fetch_history = self.restore_history;
+                    self.wrong_path_since = None;
+                    self.redirect_until = self.now + 1;
+                    self.stats.squashes += 1;
+                }
+            }
+        }
+    }
+
+    fn squash_after(&mut self, boundary: u64) {
+        while self
+            .frontend
+            .back()
+            .is_some_and(|e| e.seq > boundary)
+        {
+            let e = self.frontend.pop_back().expect("checked non-empty");
+            self.discard(&e, false);
+        }
+        while self.rob.back().is_some_and(|e| e.seq > boundary) {
+            let e = self.rob.pop_back().expect("checked non-empty");
+            self.discard(&e, true);
+        }
+    }
+
+    /// Releases the resources of a squashed uop. `dispatched` says
+    /// whether it had left the front end (and thus holds ROB-side
+    /// resources).
+    fn discard(&mut self, e: &Inflight, dispatched: bool) {
+        self.mark_complete(e.seq);
+        self.stats.squashed += 1;
+        if dispatched {
+            if !e.issued {
+                self.sched_occ[class_of(e.uop.kind) as usize] -= 1;
+            }
+            match e.uop.kind {
+                UopKind::Load => self.ldq_occ -= 1,
+                UopKind::Store => self.stq_occ -= 1,
+                _ => {}
+            }
+        }
+        if e.uop.kind == UopKind::Branch {
+            self.release_gate(e.seq);
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut avail = [self.cfg.units_int, self.cfg.units_mem, self.cfg.units_fp];
+        // Borrow gymnastics: collect completion status outside the
+        // mutable iteration by checking the status window.
+        let now = self.now;
+        let mut to_issue: Vec<usize> = Vec::new();
+        for (idx, e) in self.rob.iter().enumerate() {
+            if avail == [0, 0, 0] {
+                break;
+            }
+            if e.issued {
+                continue;
+            }
+            let c = class_of(e.uop.kind) as usize;
+            if avail[c] == 0 {
+                continue;
+            }
+            let ready = e.prod1.is_none_or(|p| self.is_complete(p))
+                && e.prod2.is_none_or(|p| self.is_complete(p));
+            if ready {
+                avail[c] -= 1;
+                to_issue.push(idx);
+            }
+        }
+        for idx in to_issue {
+            let (kind, addr, wrong_path) = {
+                let e = &self.rob[idx];
+                (e.uop.kind, e.uop.mem.map(|m| m.addr), e.wrong_path)
+            };
+            let latency = match kind {
+                UopKind::IntAlu | UopKind::Branch => 1,
+                UopKind::IntMul => 3,
+                UopKind::Fp => 4,
+                UopKind::Store => {
+                    self.mem.store(addr.expect("store has address"));
+                    1
+                }
+                UopKind::Load => self.mem.load(addr.expect("load has address")),
+            };
+            let e = &mut self.rob[idx];
+            e.issued = true;
+            e.complete_at = now + u64::from(latency);
+            self.sched_occ[class_of(kind) as usize] -= 1;
+            if wrong_path {
+                self.stats.executed_wrong += 1;
+            } else {
+                self.stats.executed_correct += 1;
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(head) = self.frontend.front() else { break };
+            if head.arrival > self.now || self.rob.len() >= self.cfg.rob_size {
+                break;
+            }
+            let c = class_of(head.uop.kind);
+            let sched_cap = match c {
+                Class::Int => self.cfg.sched_int,
+                Class::Mem => self.cfg.sched_mem,
+                Class::Fp => self.cfg.sched_fp,
+            };
+            if self.sched_occ[c as usize] >= sched_cap {
+                break;
+            }
+            match head.uop.kind {
+                UopKind::Load if self.ldq_occ >= self.cfg.load_buffers => break,
+                UopKind::Store if self.stq_occ >= self.cfg.store_buffers => break,
+                _ => {}
+            }
+            let e = self.frontend.pop_front().expect("head exists");
+            self.sched_occ[c as usize] += 1;
+            match e.uop.kind {
+                UopKind::Load => self.ldq_occ += 1,
+                UopKind::Store => self.stq_occ += 1,
+                _ => {}
+            }
+            self.rob.push_back(e);
+            n += 1;
+        }
+    }
+
+    fn fetch(&mut self) {
+        self.apply_pending_gate_increments();
+        if self.now < self.redirect_until {
+            self.stats.redirect_cycles += 1;
+            return;
+        }
+        if self.cfg.gating.is_some() && self.gate.should_gate() {
+            self.stats.gated_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.frontend.len() >= self.cfg.frontend_capacity() {
+                break;
+            }
+            let wrong = self.wrong_path_since.is_some();
+            let uop = if wrong {
+                self.gen.next_wrong_path()
+            } else {
+                self.gen.next_uop()
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.status[seq as usize % STATUS_WINDOW] = SlotStatus {
+                seq,
+                completed: false,
+            };
+            let (prod1, prod2) = self.producers(&uop, seq, wrong);
+            let mut inf = Inflight {
+                seq,
+                uop,
+                wrong_path: wrong,
+                decision: None,
+                prod1,
+                prod2,
+                arrival: self.now + u64::from(self.cfg.frontend_depth),
+                issued: false,
+                completed: false,
+                complete_at: u64::MAX,
+                fetched_at: self.now,
+            };
+            if let Some(br) = uop.branch {
+                let d = self.ctl.decide(br.pc, self.fetch_history);
+                self.fetch_history = (self.fetch_history << 1) | u64::from(d.speculated_taken);
+                if let Some(g) = self.cfg.gating {
+                    if d.gates() {
+                        self.gate_pending
+                            .push_back((self.now + u64::from(g.ce_latency), seq));
+                    }
+                }
+                if !wrong && d.speculated_taken != br.taken {
+                    self.wrong_path_since = Some(seq);
+                    self.restore_history = (d.ctx.history << 1) | u64::from(br.taken);
+                }
+                inf.decision = Some(d);
+            }
+            if !wrong {
+                self.cp_ring[self.cp_index as usize % CP_RING] = seq;
+                self.cp_index += 1;
+                self.stats.fetched_correct += 1;
+            } else {
+                self.stats.fetched_wrong += 1;
+            }
+            self.frontend.push_back(inf);
+        }
+    }
+
+    // ----- helpers ---------------------------------------------------
+
+    fn producers(&self, uop: &Uop, seq: u64, wrong: bool) -> (Option<u64>, Option<u64>) {
+        let lookup = |dist: u32| -> Option<u64> {
+            if dist == 0 {
+                return None;
+            }
+            if wrong {
+                return seq.checked_sub(u64::from(dist));
+            }
+            // Correct-path distances index the correct-path stream.
+            let d = u64::from(dist);
+            if d > self.cp_index || d as usize > CP_RING {
+                return None;
+            }
+            let s = self.cp_ring[(self.cp_index - d) as usize % CP_RING];
+            if s == u64::MAX {
+                None
+            } else {
+                Some(s)
+            }
+        };
+        (lookup(uop.src1), lookup(uop.src2))
+    }
+
+    fn is_complete(&self, seq: u64) -> bool {
+        let slot = self.status[seq as usize % STATUS_WINDOW];
+        slot.seq != seq || slot.completed
+    }
+
+    fn mark_complete(&mut self, seq: u64) {
+        let slot = &mut self.status[seq as usize % STATUS_WINDOW];
+        if slot.seq == seq {
+            slot.completed = true;
+        }
+    }
+
+    fn apply_pending_gate_increments(&mut self) {
+        while let Some(&(cycle, seq)) = self.gate_pending.front() {
+            if cycle > self.now {
+                break;
+            }
+            self.gate_pending.pop_front();
+            if !self.is_complete(seq) {
+                self.gate.on_low_conf_fetch();
+                self.gate_counted.insert(seq);
+            }
+        }
+    }
+
+    /// Releases the gate-counter contribution of branch `seq`, whether
+    /// it was already counted or still pending.
+    fn release_gate(&mut self, seq: u64) {
+        if self.gate_counted.remove(&seq) {
+            self.gate.on_low_conf_resolve();
+        } else if !self.gate_pending.is_empty() {
+            self.gate_pending.retain(|&(_, s)| s != seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perconf_core::{PerceptronCe, PerceptronCeConfig};
+
+    fn controller(estimator: Box<dyn ConfidenceEstimator>) -> Controller {
+        SpeculationController::new(
+            Box::new(perconf_bpred::baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            estimator,
+        )
+    }
+
+    fn workload(name: &str) -> WorkloadConfig {
+        perconf_workload::spec2000_config(name).unwrap()
+    }
+
+    #[test]
+    fn retires_exactly_the_requested_uops() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::shallow(), &workload("gcc"));
+        let stats = sim.run(5_000);
+        assert!(stats.retired >= 5_000 && stats.retired < 5_000 + 8);
+    }
+
+    #[test]
+    fn ipc_is_positive_and_bounded_by_width() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::shallow(), &workload("gzip"));
+        let stats = sim.run(20_000);
+        assert!(stats.ipc() > 0.1, "ipc={}", stats.ipc());
+        assert!(stats.ipc() <= 4.0);
+    }
+
+    #[test]
+    fn mispredictions_generate_wrong_path_work() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::deep(), &workload("mcf"));
+        let stats = sim.run(20_000);
+        assert!(stats.base_mispredicts > 0);
+        assert!(stats.fetched_wrong > 0);
+        assert!(stats.executed_wrong > 0);
+        assert!(stats.squashes > 0);
+        assert_eq!(stats.speculated_mispredicts, stats.base_mispredicts);
+    }
+
+    #[test]
+    fn deeper_pipeline_wastes_more_fetch() {
+        // The depth scaling of speculation waste shows in *fetched*
+        // wrong-path work (executed wrong-path work is bounded by the
+        // drain-limited backend — see DESIGN.md §7 / EXPERIMENTS.md).
+        let mut shallow = Simulation::with_defaults(PipelineConfig::shallow(), &workload("vpr"));
+        let mut deep = Simulation::with_defaults(PipelineConfig::deep(), &workload("vpr"));
+        shallow.warmup(30_000);
+        deep.warmup(30_000);
+        let s = shallow.run(50_000).clone();
+        let d = deep.run(50_000).clone();
+        let ws = s.fetched_wrong as f64 / s.fetched_correct as f64;
+        let wd = d.fetched_wrong as f64 / d.fetched_correct as f64;
+        assert!(wd > ws * 1.2, "deep {wd} vs shallow {ws}");
+    }
+
+    #[test]
+    fn perfect_workload_has_no_wrong_path() {
+        // vortex's branches are ~99.9% biased; once the predictor is
+        // warm, mispredicts are rare and wrong-path work is a small
+        // fraction.
+        let mut sim = Simulation::with_defaults(PipelineConfig::shallow(), &workload("vortex"));
+        sim.warmup(40_000);
+        let stats = sim.run(40_000);
+        assert!(
+            stats.wasted_execution_frac() < 0.2,
+            "waste = {}",
+            stats.wasted_execution_frac()
+        );
+    }
+
+    #[test]
+    fn gating_reduces_wrong_path_execution() {
+        let wl = workload("twolf");
+        let ce = || {
+            Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
+                as Box<dyn ConfidenceEstimator>
+        };
+        let mut base = Simulation::new(PipelineConfig::deep(), &wl, controller(ce()));
+        let mut gated = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce()));
+        base.warmup(20_000);
+        gated.warmup(20_000);
+        let b = base.run(40_000).clone();
+        let g = gated.run(40_000).clone();
+        assert!(g.gated_cycles > 0, "gate never engaged");
+        assert!(
+            g.executed_wrong < b.executed_wrong,
+            "gated {} vs base {}",
+            g.executed_wrong,
+            b.executed_wrong
+        );
+    }
+
+    #[test]
+    fn reversal_reduces_speculated_mispredicts() {
+        let wl = workload("mcf");
+        let ce = Box::new(PerceptronCe::new(PerceptronCeConfig::combined()))
+            as Box<dyn ConfidenceEstimator>;
+        let mut sim = Simulation::new(PipelineConfig::deep(), &wl, controller(ce));
+        sim.warmup(30_000);
+        let stats = sim.run(50_000);
+        assert!(stats.reversals > 0, "no reversals happened");
+        // The whole point of StrongLow reversal: more good than bad.
+        assert!(
+            stats.reversals_good > stats.reversals_bad,
+            "good {} vs bad {}",
+            stats.reversals_good,
+            stats.reversals_bad
+        );
+        assert!(stats.speculated_mispredicts < stats.base_mispredicts);
+    }
+
+    #[test]
+    fn density_collection_populates_both_histograms() {
+        let wl = workload("gcc");
+        let ce = Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
+            as Box<dyn ConfidenceEstimator>;
+        let cfg = PipelineConfig::shallow().with_density(-400, 400, 10);
+        let mut sim = Simulation::new(cfg, &wl, controller(ce));
+        sim.warmup(10_000);
+        let stats = sim.run(30_000);
+        let d = stats.density.as_ref().expect("density enabled");
+        assert!(d.correct.count() > 1000);
+        assert!(d.mispredicted.count() > 0);
+        assert_eq!(
+            d.correct.count() + d.mispredicted.count(),
+            stats.branches_retired
+        );
+    }
+
+    #[test]
+    fn warmup_resets_statistics() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::shallow(), &workload("gap"));
+        sim.warmup(5_000);
+        assert_eq!(sim.stats().retired, 0);
+        assert_eq!(sim.stats().cycles, 0);
+        let stats = sim.run(1_000);
+        assert!(stats.retired >= 1_000);
+    }
+
+    #[test]
+    fn fetched_wrong_only_after_mispredicted_fetch() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::shallow(), &workload("eon"));
+        let stats = sim.run(10_000);
+        // eon has very few mispredicts; wrong-path fetch should be far
+        // smaller than a high-misprediction benchmark's.
+        let mut sim2 = Simulation::with_defaults(PipelineConfig::shallow(), &workload("mcf"));
+        let stats2 = sim2.run(10_000);
+        assert!(stats.fetched_wrong < stats2.fetched_wrong);
+    }
+
+    #[test]
+    fn gate_counter_drains_completely_without_gating_config() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::deep(), &workload("vpr"));
+        sim.run(10_000);
+        assert_eq!(sim.gate.count(), 0);
+        assert!(sim.gate_counted.is_empty());
+    }
+
+    #[test]
+    fn gate_counter_drains_with_gating_enabled() {
+        let wl = workload("twolf");
+        let ce = Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
+            as Box<dyn ConfidenceEstimator>;
+        let mut sim = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce));
+        sim.run(20_000);
+        // Everything in flight eventually resolves; after draining the
+        // pipeline the counter must return to the in-flight count.
+        assert!(sim.gate.count() as usize <= sim.gate_counted.len());
+        assert!(sim.gate_counted.len() <= sim.rob.len() + sim.frontend.len());
+    }
+
+    #[test]
+    fn confusion_totals_match_retired_branches() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::shallow(), &workload("crafty"));
+        let stats = sim.run(20_000);
+        assert_eq!(stats.confusion.total(), stats.branches_retired);
+        assert_eq!(stats.confusion.mispredicted(), stats.base_mispredicts);
+    }
+}

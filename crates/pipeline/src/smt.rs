@@ -1,0 +1,761 @@
+//! A two-context SMT version of the simulator — the paper's §1
+//! motivation made concrete: *"the mis-speculative execution consumes
+//! resources that could have been allocated to useful work, such as
+//! another thread on a multithreaded processor"* (citing Luo et al.,
+//! "Boosting SMT Performance by Speculation Control").
+//!
+//! Two hardware threads share the fetch port (one thread fetches per
+//! cycle), the execution units, the scheduler capacity and the memory
+//! hierarchy; each has its own front-end queue, ROB half, load/store
+//! buffer half, branch predictor, confidence estimator and gate
+//! counter. When pipeline gating stalls one thread's fetch, the *other
+//! thread takes the slot* — so an accurate confidence estimator turns
+//! one thread's wrong-path work directly into the other thread's
+//! throughput.
+
+use crate::cache::MemHierarchy;
+use crate::config::PipelineConfig;
+use crate::sim::Controller;
+use crate::stats::SimStats;
+use perconf_core::GateCounter;
+use perconf_workload::{Uop, UopKind, WorkloadConfig, WorkloadGenerator};
+use std::collections::{HashSet, VecDeque};
+
+const STATUS_WINDOW: usize = 1 << 14;
+const CP_RING: usize = 128;
+
+/// Fetch arbitration between the two hardware threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FetchPolicy {
+    /// Strict alternation between ready threads.
+    #[default]
+    RoundRobin,
+    /// ICOUNT (Tullsen): fetch for the thread with fewer uops in
+    /// flight, favouring fast-moving threads.
+    Icount,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotStatus {
+    seq: u64,
+    completed: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Int,
+    Mem,
+    Fp,
+}
+
+fn class_of(kind: UopKind) -> Class {
+    match kind {
+        UopKind::IntAlu | UopKind::IntMul | UopKind::Branch => Class::Int,
+        UopKind::Load | UopKind::Store => Class::Mem,
+        UopKind::Fp => Class::Fp,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    seq: u64,
+    uop: Uop,
+    wrong_path: bool,
+    decision: Option<perconf_core::BranchDecision>,
+    prod1: Option<u64>,
+    prod2: Option<u64>,
+    arrival: u64,
+    issued: bool,
+    completed: bool,
+    complete_at: u64,
+}
+
+/// One hardware thread's private state.
+struct Thread {
+    gen: WorkloadGenerator,
+    ctl: Controller,
+    frontend: VecDeque<Inflight>,
+    rob: VecDeque<Inflight>,
+    status: Vec<SlotStatus>,
+    cp_ring: [u64; CP_RING],
+    cp_index: u64,
+    gate: GateCounter,
+    gate_pending: VecDeque<(u64, u64)>,
+    gate_counted: HashSet<u64>,
+    fetch_history: u64,
+    wrong_path_since: Option<u64>,
+    restore_history: u64,
+    redirect_until: u64,
+    next_seq: u64,
+    sched_occ: [usize; 3],
+    ldq_occ: usize,
+    stq_occ: usize,
+    stats: SimStats,
+}
+
+impl Thread {
+    fn new(workload: &WorkloadConfig, ctl: Controller, cfg: &PipelineConfig) -> Self {
+        Self {
+            gen: WorkloadGenerator::new(workload),
+            ctl,
+            frontend: VecDeque::new(),
+            rob: VecDeque::new(),
+            status: vec![
+                SlotStatus {
+                    seq: u64::MAX,
+                    completed: true,
+                };
+                STATUS_WINDOW
+            ],
+            cp_ring: [u64::MAX; CP_RING],
+            cp_index: 0,
+            gate: GateCounter::new(cfg.gating.map_or(1, |g| g.counter_threshold)),
+            gate_pending: VecDeque::new(),
+            gate_counted: HashSet::new(),
+            fetch_history: 0,
+            wrong_path_since: None,
+            restore_history: 0,
+            redirect_until: 0,
+            next_seq: 0,
+            sched_occ: [0; 3],
+            ldq_occ: 0,
+            stq_occ: 0,
+            stats: SimStats::default(),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.frontend.len() + self.rob.len()
+    }
+
+    fn is_complete(&self, seq: u64) -> bool {
+        let slot = self.status[seq as usize % STATUS_WINDOW];
+        slot.seq != seq || slot.completed
+    }
+
+    fn mark_complete(&mut self, seq: u64) {
+        let slot = &mut self.status[seq as usize % STATUS_WINDOW];
+        if slot.seq == seq {
+            slot.completed = true;
+        }
+    }
+
+    fn release_gate(&mut self, seq: u64) {
+        if self.gate_counted.remove(&seq) {
+            self.gate.on_low_conf_resolve();
+        } else if !self.gate_pending.is_empty() {
+            self.gate_pending.retain(|&(_, s)| s != seq);
+        }
+    }
+}
+
+/// A 2-thread SMT processor sharing fetch, execution and memory.
+///
+/// # Examples
+///
+/// ```no_run
+/// use perconf_pipeline::{PipelineConfig, SmtSimulation, FetchPolicy, Simulation};
+/// use perconf_workload::spec2000_config;
+///
+/// let a = spec2000_config("gzip").unwrap();
+/// let b = spec2000_config("mcf").unwrap();
+/// let mut smt = SmtSimulation::with_defaults(
+///     PipelineConfig::deep(),
+///     FetchPolicy::Icount,
+///     &a,
+///     &b,
+/// );
+/// smt.run_cycles(100_000);
+/// println!("combined IPC: {:.2}", smt.combined_ipc());
+/// ```
+pub struct SmtSimulation {
+    cfg: PipelineConfig,
+    policy: FetchPolicy,
+    threads: [Thread; 2],
+    mem: MemHierarchy,
+    now: u64,
+    cycles: u64,
+    last_fetched: usize,
+}
+
+impl std::fmt::Debug for SmtSimulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmtSimulation")
+            .field("cycle", &self.now)
+            .field("retired0", &self.threads[0].stats.retired)
+            .field("retired1", &self.threads[1].stats.retired)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SmtSimulation {
+    /// Builds an SMT pair from per-thread controllers. Per-thread ROB,
+    /// load/store buffers and front-end capacity are half of `cfg`'s;
+    /// scheduler windows, execution units, fetch bandwidth and the
+    /// memory hierarchy are shared.
+    #[must_use]
+    pub fn new(
+        cfg: PipelineConfig,
+        policy: FetchPolicy,
+        a: (&WorkloadConfig, Controller),
+        b: (&WorkloadConfig, Controller),
+    ) -> Self {
+        Self {
+            threads: [Thread::new(a.0, a.1, &cfg), Thread::new(b.0, b.1, &cfg)],
+            mem: MemHierarchy::new(cfg.mem),
+            now: 0,
+            cycles: 0,
+            last_fetched: 1,
+            cfg,
+            policy,
+        }
+    }
+
+    /// Builds an SMT pair with the default predictor and no estimator
+    /// on both threads.
+    #[must_use]
+    pub fn with_defaults(
+        cfg: PipelineConfig,
+        policy: FetchPolicy,
+        a: &WorkloadConfig,
+        b: &WorkloadConfig,
+    ) -> Self {
+        let mk = || {
+            perconf_core::SpeculationController::new(
+                Box::new(perconf_bpred::baseline_bimodal_gshare())
+                    as Box<dyn perconf_bpred::BranchPredictor>,
+                Box::new(perconf_core::AlwaysHigh) as Box<dyn perconf_core::ConfidenceEstimator>,
+            )
+        };
+        Self::new(cfg, policy, (a, mk()), (b, mk()))
+    }
+
+    /// Per-thread statistics.
+    #[must_use]
+    pub fn stats(&self, thread: usize) -> &SimStats {
+        &self.threads[thread].stats
+    }
+
+    /// Cycles simulated.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Combined retired uops per cycle across both threads.
+    #[must_use]
+    pub fn combined_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.threads[0].stats.retired + self.threads[1].stats.retired) as f64
+            / self.cycles as f64
+    }
+
+    /// Runs for a fixed number of cycles (SMT throughput comparisons
+    /// hold cycles constant and compare work done).
+    pub fn run_cycles(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until warm, then clears statistics.
+    pub fn warmup_cycles(&mut self, cycles: u64) {
+        self.run_cycles(cycles);
+        self.cycles = 0;
+        for t in &mut self.threads {
+            t.stats.reset();
+        }
+    }
+
+    fn step(&mut self) {
+        self.now += 1;
+        for t in 0..2 {
+            self.retire(t);
+        }
+        for t in 0..2 {
+            self.complete_and_resolve(t);
+        }
+        self.issue_shared();
+        for t in 0..2 {
+            self.dispatch(t);
+        }
+        self.fetch_arbitrated();
+        self.cycles += 1;
+        for t in &mut self.threads {
+            t.stats.cycles += 1;
+        }
+    }
+
+    fn retire(&mut self, ti: usize) {
+        let width = self.cfg.width;
+        let t = &mut self.threads[ti];
+        let mut n = 0;
+        while n < width {
+            let Some(head) = t.rob.front() else { break };
+            if !(head.completed && head.complete_at < self.now) {
+                break;
+            }
+            let e = t.rob.pop_front().expect("head exists");
+            match e.uop.kind {
+                UopKind::Load => t.ldq_occ -= 1,
+                UopKind::Store => t.stq_occ -= 1,
+                _ => {}
+            }
+            t.stats.retired += 1;
+            if let Some(d) = e.decision {
+                let actual = e.uop.branch.expect("branch has payload").taken;
+                let out = t.ctl.train(&d, actual);
+                t.stats.branches_retired += 1;
+                if out.base_mispredicted {
+                    t.stats.base_mispredicts += 1;
+                }
+                if out.speculated_mispredicted {
+                    t.stats.speculated_mispredicts += 1;
+                }
+                t.stats
+                    .confusion
+                    .record(out.base_mispredicted, d.estimate.is_low());
+            }
+            n += 1;
+        }
+    }
+
+    fn complete_and_resolve(&mut self, ti: usize) {
+        loop {
+            let now = self.now;
+            let t = &mut self.threads[ti];
+            let Some(idx) = t
+                .rob
+                .iter()
+                .position(|e| e.issued && !e.completed && e.complete_at <= now)
+            else {
+                break;
+            };
+            let (seq, is_branch, wrong_path) = {
+                let e = &mut t.rob[idx];
+                e.completed = true;
+                (e.seq, e.uop.kind == UopKind::Branch, e.wrong_path)
+            };
+            t.mark_complete(seq);
+            if is_branch {
+                t.release_gate(seq);
+                let mispredicted = {
+                    let e = &t.rob[idx];
+                    match (&e.decision, e.uop.branch) {
+                        (Some(d), Some(br)) if !wrong_path => d.speculated_taken != br.taken,
+                        _ => false,
+                    }
+                };
+                if mispredicted {
+                    // Squash younger in this thread only.
+                    while t.frontend.back().is_some_and(|e| e.seq > seq) {
+                        let e = t.frontend.pop_back().expect("non-empty");
+                        t.mark_complete(e.seq);
+                        t.stats.squashed += 1;
+                        if e.uop.kind == UopKind::Branch {
+                            t.release_gate(e.seq);
+                        }
+                    }
+                    while t.rob.back().is_some_and(|e| e.seq > seq) {
+                        let e = t.rob.pop_back().expect("non-empty");
+                        t.mark_complete(e.seq);
+                        t.stats.squashed += 1;
+                        if !e.issued {
+                            t.sched_occ[class_of(e.uop.kind) as usize] -= 1;
+                        }
+                        match e.uop.kind {
+                            UopKind::Load => t.ldq_occ -= 1,
+                            UopKind::Store => t.stq_occ -= 1,
+                            _ => {}
+                        }
+                        if e.uop.kind == UopKind::Branch {
+                            t.release_gate(e.seq);
+                        }
+                    }
+                    t.fetch_history = t.restore_history;
+                    t.wrong_path_since = None;
+                    t.redirect_until = now + 1;
+                    t.stats.squashes += 1;
+                }
+            }
+        }
+    }
+
+    fn issue_shared(&mut self) {
+        let mut avail = [self.cfg.units_int, self.cfg.units_mem, self.cfg.units_fp];
+        // Alternate which thread gets first pick each cycle.
+        let first = (self.now % 2) as usize;
+        for ti in [first, 1 - first] {
+            let now = self.now;
+            let mut to_issue = Vec::new();
+            {
+                let t = &self.threads[ti];
+                for (idx, e) in t.rob.iter().enumerate() {
+                    if avail == [0, 0, 0] {
+                        break;
+                    }
+                    if e.issued {
+                        continue;
+                    }
+                    let c = class_of(e.uop.kind) as usize;
+                    if avail[c] == 0 {
+                        continue;
+                    }
+                    let ready = e.prod1.is_none_or(|p| t.is_complete(p))
+                        && e.prod2.is_none_or(|p| t.is_complete(p));
+                    if ready {
+                        avail[c] -= 1;
+                        to_issue.push(idx);
+                    }
+                }
+            }
+            for idx in to_issue {
+                let (kind, addr, wrong_path) = {
+                    let e = &self.threads[ti].rob[idx];
+                    (e.uop.kind, e.uop.mem.map(|m| m.addr), e.wrong_path)
+                };
+                let latency = match kind {
+                    UopKind::IntAlu | UopKind::Branch => 1,
+                    UopKind::IntMul => 3,
+                    UopKind::Fp => 4,
+                    UopKind::Store => {
+                        // Thread address spaces are disjoint halves of
+                        // the physical space (simple ASID model).
+                        self.mem
+                            .store(addr.expect("store addr") | (ti as u64) << 40);
+                        1
+                    }
+                    UopKind::Load => self
+                        .mem
+                        .load(addr.expect("load addr") | (ti as u64) << 40),
+                };
+                let t = &mut self.threads[ti];
+                let e = &mut t.rob[idx];
+                e.issued = true;
+                e.complete_at = now + u64::from(latency);
+                t.sched_occ[class_of(kind) as usize] -= 1;
+                if wrong_path {
+                    t.stats.executed_wrong += 1;
+                } else {
+                    t.stats.executed_correct += 1;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ti: usize) {
+        let width = self.cfg.width;
+        let rob_cap = self.cfg.rob_size / 2;
+        let other_occ = self.threads[1 - ti].sched_occ;
+        let now = self.now;
+        let t = &mut self.threads[ti];
+        let mut n = 0;
+        while n < width {
+            let Some(head) = t.frontend.front() else { break };
+            if head.arrival > now || t.rob.len() >= rob_cap {
+                break;
+            }
+            let c = class_of(head.uop.kind);
+            let cap = match c {
+                Class::Int => self.cfg.sched_int,
+                Class::Mem => self.cfg.sched_mem,
+                Class::Fp => self.cfg.sched_fp,
+            };
+            // Scheduler windows are shared across threads.
+            if t.sched_occ[c as usize] + other_occ[c as usize] >= cap {
+                break;
+            }
+            match head.uop.kind {
+                UopKind::Load if t.ldq_occ >= self.cfg.load_buffers / 2 => break,
+                UopKind::Store if t.stq_occ >= self.cfg.store_buffers / 2 => break,
+                _ => {}
+            }
+            let e = t.frontend.pop_front().expect("head exists");
+            t.sched_occ[c as usize] += 1;
+            match e.uop.kind {
+                UopKind::Load => t.ldq_occ += 1,
+                UopKind::Store => t.stq_occ += 1,
+                _ => {}
+            }
+            t.rob.push_back(e);
+            n += 1;
+        }
+    }
+
+    fn thread_can_fetch(&self, ti: usize) -> bool {
+        let t = &self.threads[ti];
+        if self.now < t.redirect_until {
+            return false;
+        }
+        if self.cfg.gating.is_some() && t.gate.should_gate() {
+            return false;
+        }
+        t.frontend.len() < self.cfg.frontend_capacity() / 2
+    }
+
+    fn fetch_arbitrated(&mut self) {
+        for ti in 0..2 {
+            let now = self.now;
+            let t = &mut self.threads[ti];
+            while let Some(&(cycle, seq)) = t.gate_pending.front() {
+                if cycle > now {
+                    break;
+                }
+                t.gate_pending.pop_front();
+                if !t.is_complete(seq) {
+                    t.gate.on_low_conf_fetch();
+                    t.gate_counted.insert(seq);
+                }
+            }
+        }
+        let candidates: Vec<usize> = (0..2).filter(|&t| self.thread_can_fetch(t)).collect();
+        let chosen = match candidates.as_slice() {
+            [] => {
+                for t in &mut self.threads {
+                    if self.cfg.gating.is_some() && t.gate.should_gate() {
+                        t.stats.gated_cycles += 1;
+                    }
+                }
+                return;
+            }
+            [only] => *only,
+            _ => match self.policy {
+                FetchPolicy::RoundRobin => {
+                    let next = 1 - self.last_fetched;
+                    self.last_fetched = next;
+                    next
+                }
+                FetchPolicy::Icount => {
+                    if self.threads[0].in_flight() <= self.threads[1].in_flight() {
+                        0
+                    } else {
+                        1
+                    }
+                }
+            },
+        };
+        // Account gated cycles for the thread(s) that were excluded by
+        // the gate specifically.
+        for ti in 0..2 {
+            if ti != chosen
+                && self.cfg.gating.is_some()
+                && self.threads[ti].gate.should_gate()
+            {
+                self.threads[ti].stats.gated_cycles += 1;
+            }
+        }
+        self.fetch_into(chosen);
+    }
+
+    fn fetch_into(&mut self, ti: usize) {
+        let width = self.cfg.width;
+        let cap = self.cfg.frontend_capacity() / 2;
+        let depth = u64::from(self.cfg.frontend_depth);
+        let gating = self.cfg.gating;
+        let now = self.now;
+        let t = &mut self.threads[ti];
+        for _ in 0..width {
+            if t.frontend.len() >= cap {
+                break;
+            }
+            let wrong = t.wrong_path_since.is_some();
+            let uop = if wrong {
+                t.gen.next_wrong_path()
+            } else {
+                t.gen.next_uop()
+            };
+            let seq = t.next_seq;
+            t.next_seq += 1;
+            t.status[seq as usize % STATUS_WINDOW] = SlotStatus {
+                seq,
+                completed: false,
+            };
+            let lookup = |dist: u32| -> Option<u64> {
+                if dist == 0 {
+                    return None;
+                }
+                if wrong {
+                    return seq.checked_sub(u64::from(dist));
+                }
+                let d = u64::from(dist);
+                if d > t.cp_index || d as usize > CP_RING {
+                    return None;
+                }
+                let s = t.cp_ring[(t.cp_index - d) as usize % CP_RING];
+                if s == u64::MAX {
+                    None
+                } else {
+                    Some(s)
+                }
+            };
+            let (prod1, prod2) = (lookup(uop.src1), lookup(uop.src2));
+            let mut inf = Inflight {
+                seq,
+                uop,
+                wrong_path: wrong,
+                decision: None,
+                prod1,
+                prod2,
+                arrival: now + depth,
+                issued: false,
+                completed: false,
+                complete_at: u64::MAX,
+            };
+            if let Some(br) = uop.branch {
+                let d = t.ctl.decide(br.pc, t.fetch_history);
+                t.fetch_history = (t.fetch_history << 1) | u64::from(d.speculated_taken);
+                if let Some(g) = gating {
+                    if d.gates() {
+                        t.gate_pending.push_back((now + u64::from(g.ce_latency), seq));
+                    }
+                }
+                if !wrong && d.speculated_taken != br.taken {
+                    t.wrong_path_since = Some(seq);
+                    t.restore_history = (d.ctx.history << 1) | u64::from(br.taken);
+                }
+                inf.decision = Some(d);
+            }
+            if wrong {
+                t.stats.fetched_wrong += 1;
+            } else {
+                t.cp_ring[t.cp_index as usize % CP_RING] = seq;
+                t.cp_index += 1;
+                t.stats.fetched_correct += 1;
+            }
+            t.frontend.push_back(inf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perconf_core::{PerceptronCe, PerceptronCeConfig, SpeculationController};
+
+    fn wl(name: &str) -> WorkloadConfig {
+        perconf_workload::spec2000_config(name).unwrap()
+    }
+
+    fn gated_controller() -> Controller {
+        SpeculationController::new(
+            Box::new(perconf_bpred::baseline_bimodal_gshare())
+                as Box<dyn perconf_bpred::BranchPredictor>,
+            Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
+                as Box<dyn perconf_core::ConfidenceEstimator>,
+        )
+    }
+
+    #[test]
+    fn both_threads_make_progress() {
+        let mut smt = SmtSimulation::with_defaults(
+            PipelineConfig::shallow(),
+            FetchPolicy::RoundRobin,
+            &wl("gzip"),
+            &wl("gcc"),
+        );
+        smt.run_cycles(30_000);
+        assert!(smt.stats(0).retired > 1_000, "t0 {}", smt.stats(0).retired);
+        assert!(smt.stats(1).retired > 1_000, "t1 {}", smt.stats(1).retired);
+        assert!(smt.combined_ipc() > 0.2);
+    }
+
+    #[test]
+    fn icount_favours_the_faster_thread() {
+        // eon (few mispredicts) vs mcf (memory bound, many squashes):
+        // under ICOUNT the fast thread should retire clearly more.
+        let mut smt = SmtSimulation::with_defaults(
+            PipelineConfig::shallow(),
+            FetchPolicy::Icount,
+            &wl("eon"),
+            &wl("mcf"),
+        );
+        smt.run_cycles(40_000);
+        assert!(smt.stats(0).retired > smt.stats(1).retired);
+    }
+
+    #[test]
+    fn smt_throughput_beats_half_a_core() {
+        // Two threads sharing one core should beat a single thread's
+        // IPC on the same core (that is the point of SMT).
+        let mut single = crate::sim::Simulation::with_defaults(
+            PipelineConfig::shallow(),
+            &wl("twolf"),
+        );
+        single.warmup(30_000);
+        let single_ipc = single.run(60_000).ipc();
+
+        let mut smt = SmtSimulation::with_defaults(
+            PipelineConfig::shallow(),
+            FetchPolicy::Icount,
+            &wl("twolf"),
+            &wl("gzip"),
+        );
+        smt.warmup_cycles(30_000);
+        smt.run_cycles(60_000);
+        assert!(
+            smt.combined_ipc() > single_ipc,
+            "smt {:.3} vs single {:.3}",
+            smt.combined_ipc(),
+            single_ipc
+        );
+    }
+
+    #[test]
+    fn gating_the_noisy_thread_helps_its_neighbour() {
+        // Thread 1 runs vpr (frequent, fast-resolving mispredicts, so
+        // it keeps re-filling its front end with wrong-path uops);
+        // only *it* is gated. Each gated cycle hands the fetch slot to
+        // gzip, which should retire more than in the ungated pair —
+        // the Luo et al. SMT speculation-control result.
+        let base_cfg = PipelineConfig::deep();
+        let mut base = SmtSimulation::with_defaults(
+            base_cfg,
+            FetchPolicy::RoundRobin,
+            &wl("gzip"),
+            &wl("vpr"),
+        );
+        base.warmup_cycles(40_000);
+        base.run_cycles(120_000);
+
+        let ungated_controller = || {
+            SpeculationController::new(
+                Box::new(perconf_bpred::baseline_bimodal_gshare())
+                    as Box<dyn perconf_bpred::BranchPredictor>,
+                Box::new(perconf_core::AlwaysHigh)
+                    as Box<dyn perconf_core::ConfidenceEstimator>,
+            )
+        };
+        let mut gated = SmtSimulation::new(
+            base_cfg.gated(1),
+            FetchPolicy::RoundRobin,
+            (&wl("gzip"), ungated_controller()),
+            (&wl("vpr"), gated_controller()),
+        );
+        gated.warmup_cycles(40_000);
+        gated.run_cycles(120_000);
+
+        let neighbour_gain = gated.stats(0).retired as f64 / base.stats(0).retired as f64;
+        assert!(
+            neighbour_gain > 1.01,
+            "gating vpr should boost gzip: gain {neighbour_gain:.3}"
+        );
+        // And the noisy thread's wrong-path fetch must drop.
+        assert!(gated.stats(1).fetched_wrong < base.stats(1).fetched_wrong);
+    }
+
+    #[test]
+    fn per_thread_wrong_path_squash_does_not_cross_threads() {
+        let mut smt = SmtSimulation::with_defaults(
+            PipelineConfig::shallow(),
+            FetchPolicy::RoundRobin,
+            &wl("vpr"),
+            &wl("vortex"),
+        );
+        smt.run_cycles(30_000);
+        // vortex barely mispredicts: nearly all squashed uops belong
+        // to vpr.
+        assert!(smt.stats(0).squashed > smt.stats(1).squashed);
+    }
+}

@@ -1,0 +1,177 @@
+use perconf_metrics::{ConfusionMatrix, DensityPair};
+use serde::{Deserialize, Serialize};
+
+/// Everything the simulator measures in one run.
+///
+/// Counter conventions:
+/// * *fetched* — entered the front-end pipe;
+/// * *executed* — issued to a functional unit (the quantity pipeline
+///   gating is designed to reduce for the wrong path);
+/// * *retired* — left the ROB architecturally (correct path only).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Correct-path uops fetched.
+    pub fetched_correct: u64,
+    /// Wrong-path uops fetched.
+    pub fetched_wrong: u64,
+    /// Correct-path uops executed.
+    pub executed_correct: u64,
+    /// Wrong-path uops executed.
+    pub executed_wrong: u64,
+    /// Uops retired.
+    pub retired: u64,
+    /// Conditional branches retired.
+    pub branches_retired: u64,
+    /// Retired branches whose *base* prediction was wrong.
+    pub base_mispredicts: u64,
+    /// Retired branches whose *speculated* (post-reversal) direction
+    /// was wrong.
+    pub speculated_mispredicts: u64,
+    /// Retired branches whose prediction was reversed.
+    pub reversals: u64,
+    /// Reversals that corrected a misprediction.
+    pub reversals_good: u64,
+    /// Reversals that broke a correct prediction.
+    pub reversals_bad: u64,
+    /// Cycles fetch was stalled by the gate.
+    pub gated_cycles: u64,
+    /// Cycles fetch was stalled refilling after a squash redirect.
+    pub redirect_cycles: u64,
+    /// Uops squashed on mispredict recovery.
+    pub squashed: u64,
+    /// Pipeline squash events (resolved mispredicted speculation).
+    pub squashes: u64,
+    /// Cycles retirement made no progress because the ROB was empty
+    /// (front-end refill / gating).
+    pub stall_empty: u64,
+    /// Cycles the ROB head was waiting for its source operands.
+    pub stall_deps: u64,
+    /// Cycles the ROB head was ready but not yet issued (FU or
+    /// scheduler contention).
+    pub stall_fu: u64,
+    /// Cycles the ROB head was an in-flight load.
+    pub stall_load: u64,
+    /// Cycles the ROB head was any other in-flight uop.
+    pub stall_exec: u64,
+    /// Sum of ROB occupancy over cycles (divide by `cycles` for mean).
+    pub rob_occupancy_sum: u64,
+    /// Sum over squashes of (resolve cycle − fetch cycle) of the
+    /// triggering branch.
+    pub resolution_delay_sum: u64,
+    /// PVN/Spec quadrants over retired branches (base prediction vs
+    /// binary low/high confidence).
+    pub confusion: ConfusionMatrix,
+    /// Estimator-output density over retired branches, when enabled.
+    pub density: Option<DensityPair>,
+}
+
+impl SimStats {
+    /// Retired uops per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total uops executed (correct + wrong path) — the paper's
+    /// "total uops executed".
+    #[must_use]
+    pub fn executed_total(&self) -> u64 {
+        self.executed_correct + self.executed_wrong
+    }
+
+    /// Percentage increase in uops executed due to branch
+    /// mispredictions (Table 2's right-hand columns), as a fraction.
+    #[must_use]
+    pub fn wasted_execution_frac(&self) -> f64 {
+        if self.executed_correct == 0 {
+            0.0
+        } else {
+            self.executed_wrong as f64 / self.executed_correct as f64
+        }
+    }
+
+    /// Branch mispredicts per 1000 retired uops (Table 2, column 1),
+    /// measured on the base predictor.
+    #[must_use]
+    pub fn mpku(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.base_mispredicts as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// Base-predictor misprediction rate per branch.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches_retired == 0 {
+            0.0
+        } else {
+            self.base_mispredicts as f64 / self.branches_retired as f64
+        }
+    }
+
+    /// Resets all counters (used after warm-up). The simulator
+    /// recreates the density pair afterwards if collection is enabled.
+    pub fn reset(&mut self) {
+        *self = SimStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_waste() {
+        let s = SimStats {
+            cycles: 100,
+            retired: 150,
+            executed_correct: 150,
+            executed_wrong: 75,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.wasted_execution_frac() - 0.5).abs() < 1e-12);
+        assert_eq!(s.executed_total(), 225);
+    }
+
+    #[test]
+    fn mpku() {
+        let s = SimStats {
+            retired: 10_000,
+            branches_retired: 1500,
+            base_mispredicts: 52,
+            ..SimStats::default()
+        };
+        assert!((s.mpku() - 5.2).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 52.0 / 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.wasted_execution_frac(), 0.0);
+        assert_eq!(s.mpku(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut s = SimStats {
+            cycles: 5,
+            retired: 5,
+            ..SimStats::default()
+        };
+        s.reset();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.retired, 0);
+    }
+}

@@ -1,0 +1,465 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Coarse behaviour class of a branch site, used for reporting and for
+/// stratified assignment of behaviours to sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BehaviorClass {
+    /// Strongly biased toward one direction.
+    Biased,
+    /// Loop back-edge: taken `trip - 1` times, then not-taken once.
+    Loop,
+    /// Outcome is a (noisy) linearly separable function of recent
+    /// global history — learnable by both gshare and perceptrons.
+    LinearHistory,
+    /// Outcome is a (noisy) XOR of history bits — learnable by pattern
+    /// tables (gshare) but *not* linearly separable.
+    XorHistory,
+    /// Data-dependent, effectively random outcome.
+    Random,
+    /// Alternates between a *stable* phase (deterministic linear
+    /// function of history) and a *chaotic* phase (coin flips).
+    /// Models the bursty, phase-correlated mispredictability of real
+    /// branches — the signal confidence estimators exploit.
+    Phased,
+    /// Linear function of *distant* history bits (beyond the reach of
+    /// the baseline predictor's history window, but within the
+    /// confidence estimator's 32-bit window). Such branches are
+    /// systematically mispredicted in identifiable contexts — the
+    /// long-history correlation that perceptron structures exploit and
+    /// the population branch reversal wins on.
+    LongHistory,
+    /// Deterministic periodic pattern (period 3–7 visits). Because the
+    /// site recurs once per control-flow-path iteration, the period in
+    /// *global history* distance is `period × path-length` — beyond a
+    /// 12-bit gshare window but within the estimator's 32 bits. The
+    /// baseline predicts the majority direction and is systematically
+    /// wrong on the minority positions: the classic
+    /// reversal-correctable population.
+    Periodic,
+}
+
+/// Parameterised behaviour specification, before per-site
+/// instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BehaviorSpec {
+    /// Bernoulli outcome with probability `p_taken` of being taken.
+    Biased {
+        /// Probability of the branch being taken.
+        p_taken: f64,
+    },
+    /// Loop back-edge with the given mean trip count (per-site trip
+    /// counts are drawn near this mean at instantiation).
+    Loop {
+        /// Mean loop trip count (must be ≥ 2).
+        mean_trip: u32,
+    },
+    /// Noisy linear function of `taps` randomly chosen history bits.
+    LinearHistory {
+        /// Number of history taps (odd values avoid ties).
+        taps: u8,
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+    /// Noisy XOR of two randomly chosen history bits.
+    XorHistory {
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+    /// Bernoulli coin with probability `p_taken`.
+    Random {
+        /// Probability of the branch being taken.
+        p_taken: f64,
+    },
+    /// Phase-alternating behaviour: deterministic (history-linear) for
+    /// a geometric-length stable phase, then random for a
+    /// geometric-length chaotic phase.
+    Phased {
+        /// Mean stable-phase length in visits.
+        mean_stable: u32,
+        /// Mean chaotic-phase length in visits.
+        mean_chaotic: u32,
+    },
+    /// Noisy linear function of distant history bits (taps drawn from
+    /// [`LONG_TAP_MIN`], [`LONG_TAP_MAX`]).
+    LongHistory {
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+    /// Deterministic repeating outcome pattern of the given period
+    /// (per-site patterns drawn at instantiation), with a small noise
+    /// flip probability.
+    Periodic {
+        /// Pattern length in visits (2..=8).
+        period: u32,
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+}
+
+impl BehaviorClass {
+    /// Classes that are hard for table predictors — the generator's
+    /// stratified assignment gives these the *hottest* sites first,
+    /// mirroring real programs where mispredictions concentrate in a
+    /// handful of notorious, frequently executed branches.
+    #[must_use]
+    pub fn is_hard(self) -> bool {
+        matches!(
+            self,
+            BehaviorClass::Random
+                | BehaviorClass::Phased
+                | BehaviorClass::LongHistory
+                | BehaviorClass::Periodic
+                | BehaviorClass::XorHistory
+        )
+    }
+}
+
+impl BehaviorSpec {
+    /// The coarse class of this spec.
+    #[must_use]
+    pub fn class(&self) -> BehaviorClass {
+        match self {
+            BehaviorSpec::Biased { .. } => BehaviorClass::Biased,
+            BehaviorSpec::Loop { .. } => BehaviorClass::Loop,
+            BehaviorSpec::LinearHistory { .. } => BehaviorClass::LinearHistory,
+            BehaviorSpec::XorHistory { .. } => BehaviorClass::XorHistory,
+            BehaviorSpec::Random { .. } => BehaviorClass::Random,
+            BehaviorSpec::Phased { .. } => BehaviorClass::Phased,
+            BehaviorSpec::LongHistory { .. } => BehaviorClass::LongHistory,
+            BehaviorSpec::Periodic { .. } => BehaviorClass::Periodic,
+        }
+    }
+
+    /// Rough intrinsic misprediction rate of this behaviour under a
+    /// well-trained history-based predictor; used only for calibration
+    /// documentation and sanity tests, not by the generator itself.
+    #[must_use]
+    pub fn intrinsic_miss_rate(&self) -> f64 {
+        match *self {
+            BehaviorSpec::Biased { p_taken } => p_taken.min(1.0 - p_taken),
+            BehaviorSpec::Loop { mean_trip } => 1.0 / f64::from(mean_trip.max(2)),
+            BehaviorSpec::LinearHistory { noise, .. } | BehaviorSpec::XorHistory { noise } => {
+                noise
+            }
+            BehaviorSpec::Random { p_taken } => p_taken.min(1.0 - p_taken),
+            BehaviorSpec::Phased {
+                mean_stable,
+                mean_chaotic,
+            } => {
+                0.5 * f64::from(mean_chaotic)
+                    / f64::from(mean_stable + mean_chaotic).max(1.0)
+            }
+            // A short-history predictor sees only the majority
+            // direction of a balanced far-bit function.
+            BehaviorSpec::LongHistory { .. } => 0.45,
+            // Majority prediction misses the minority positions.
+            BehaviorSpec::Periodic { period, .. } => {
+                f64::from(period / 2) / f64::from(period.max(2))
+            }
+        }
+    }
+}
+
+/// Maximum history bit position (exclusive) that correlated behaviours
+/// may tap. Kept low so that both a 16-bit gshare index and a 32-bit
+/// perceptron history window can observe every tap, and so the
+/// per-site pattern space stays small enough to be learnable.
+pub const MAX_TAP: u32 = 5;
+
+/// Lowest history bit a [`BehaviorSpec::LongHistory`] site may tap —
+/// chosen beyond the baseline predictors' history windows (gshare uses
+/// 12 bits, JRS folds 13) so these correlations are invisible to them.
+pub const LONG_TAP_MIN: u32 = 16;
+/// Highest (exclusive) long-history tap; within the perceptron
+/// estimator's 32-bit window.
+pub const LONG_TAP_MAX: u32 = 30;
+
+/// A static branch site: a [`BehaviorSpec`] instantiated with concrete
+/// per-site parameters (tap positions, signs, trip count) and mutable
+/// per-site state (loop counter).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchSite {
+    /// Site identifier (index into the workload's site table).
+    pub id: u32,
+    /// Instruction address assigned to this site.
+    pub pc: u64,
+    /// The behaviour specification this site was built from.
+    pub spec: BehaviorSpec,
+    taps: Vec<(u32, bool)>,
+    trip: u32,
+    loop_count: u32,
+    chaotic: bool,
+    phase_left: u32,
+    pattern: u16,
+    pattern_pos: u32,
+}
+
+impl BranchSite {
+    /// Returns `true` for behaviour classes whose outcome is *data
+    /// dependent*: the generator makes such branches consume a
+    /// freshly-loaded value (a "pointer load"), so their resolution in
+    /// the pipeline waits on the memory hierarchy — the coupling that
+    /// makes hard branches resolve late on real machines.
+    #[must_use]
+    pub fn is_data_dependent(&self) -> bool {
+        matches!(
+            self.spec.class(),
+            BehaviorClass::Random
+                | BehaviorClass::LinearHistory
+                | BehaviorClass::XorHistory
+                | BehaviorClass::Phased
+                | BehaviorClass::LongHistory
+        )
+    }
+
+    /// The repeating pattern of a [`BehaviorSpec::Periodic`] site
+    /// (low `period` bits; bit `i` = outcome of visit `i mod period`).
+    /// Returns 0 for other classes.
+    #[must_use]
+    pub fn pattern(&self) -> u16 {
+        self.pattern
+    }
+
+    /// Instantiates a site from a spec, drawing per-site parameters
+    /// (taps, signs, trip count) from `rng`.
+    pub fn instantiate<R: Rng>(id: u32, spec: BehaviorSpec, rng: &mut R) -> Self {
+        let pc = 0x0040_0000 + u64::from(id) * 16;
+        let mut taps = Vec::new();
+        let mut trip = 0;
+        let mut pattern = 0u16;
+        match spec {
+            BehaviorSpec::LinearHistory { taps: n, .. } => {
+                for _ in 0..n {
+                    taps.push((rng.gen_range(0..MAX_TAP), rng.gen::<bool>()));
+                }
+            }
+            BehaviorSpec::XorHistory { .. } => {
+                let a = rng.gen_range(0..MAX_TAP);
+                let mut b = rng.gen_range(0..MAX_TAP);
+                while b == a {
+                    b = rng.gen_range(0..MAX_TAP);
+                }
+                taps.push((a, true));
+                taps.push((b, true));
+            }
+            BehaviorSpec::Loop { mean_trip } => {
+                let lo = (mean_trip / 2).max(2);
+                let hi = mean_trip + mean_trip / 2 + 1;
+                trip = rng.gen_range(lo..=hi.max(lo));
+            }
+            BehaviorSpec::Phased { .. } => {
+                // Stable-phase outcomes follow a per-site linear
+                // function, like LinearHistory.
+                for _ in 0..5 {
+                    taps.push((rng.gen_range(0..MAX_TAP), rng.gen::<bool>()));
+                }
+            }
+            BehaviorSpec::LongHistory { .. } => {
+                for _ in 0..3 {
+                    taps.push((rng.gen_range(LONG_TAP_MIN..LONG_TAP_MAX), rng.gen::<bool>()));
+                }
+            }
+            BehaviorSpec::Periodic { period, .. } => {
+                // Draw a balanced-ish pattern: avoid all-same patterns,
+                // which would degenerate into a biased branch.
+                let p = period.clamp(2, 8);
+                loop {
+                    pattern = (rng.gen::<u16>()) & ((1 << p) - 1);
+                    let ones = pattern.count_ones();
+                    if ones > 0 && ones < p {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+        Self {
+            id,
+            pc,
+            spec,
+            taps,
+            trip,
+            loop_count: 0,
+            chaotic: false,
+            phase_left: 0,
+            pattern,
+            pattern_pos: 0,
+        }
+    }
+
+    fn linear_outcome(&self, history: u64) -> bool {
+        let mut sum = 0i32;
+        for &(tap, sign) in &self.taps {
+            let bit = (history >> tap) & 1 == 1;
+            let v = if bit { 1 } else { -1 };
+            sum += if sign { v } else { -v };
+        }
+        sum > 0
+    }
+
+    /// Produces the next architectural outcome for this site given the
+    /// current global history register (`bit 0` = most recent branch,
+    /// `1` = taken).
+    pub fn next_outcome<R: Rng>(&mut self, history: u64, rng: &mut R) -> bool {
+        match self.spec {
+            BehaviorSpec::Biased { p_taken } | BehaviorSpec::Random { p_taken } => {
+                rng.gen::<f64>() < p_taken
+            }
+            BehaviorSpec::Loop { .. } => {
+                self.loop_count += 1;
+                if self.loop_count >= self.trip {
+                    self.loop_count = 0;
+                    false
+                } else {
+                    true
+                }
+            }
+            BehaviorSpec::LinearHistory { noise, .. } => {
+                let mut out = self.linear_outcome(history);
+                if rng.gen::<f64>() < noise {
+                    out = !out;
+                }
+                out
+            }
+            BehaviorSpec::XorHistory { noise } => {
+                let a = (history >> self.taps[0].0) & 1;
+                let b = (history >> self.taps[1].0) & 1;
+                let mut out = (a ^ b) == 1;
+                if rng.gen::<f64>() < noise {
+                    out = !out;
+                }
+                out
+            }
+            BehaviorSpec::LongHistory { noise } => {
+                let mut out = self.linear_outcome(history);
+                if rng.gen::<f64>() < noise {
+                    out = !out;
+                }
+                out
+            }
+            BehaviorSpec::Periodic { period, noise } => {
+                let p = period.clamp(2, 8);
+                let mut out = (self.pattern >> self.pattern_pos) & 1 == 1;
+                self.pattern_pos = (self.pattern_pos + 1) % p;
+                if rng.gen::<f64>() < noise {
+                    out = !out;
+                }
+                out
+            }
+            BehaviorSpec::Phased {
+                mean_stable,
+                mean_chaotic,
+            } => {
+                if self.phase_left == 0 {
+                    self.chaotic = !self.chaotic;
+                    let mean = if self.chaotic { mean_chaotic } else { mean_stable };
+                    // Geometric-ish phase length around the mean.
+                    self.phase_left = rng.gen_range(1..=mean.max(1) * 2);
+                }
+                self.phase_left -= 1;
+                if self.chaotic {
+                    rng.gen::<bool>()
+                } else {
+                    self.linear_outcome(history)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn loop_site_is_taken_trip_minus_one_times() {
+        let mut r = rng();
+        let mut s = BranchSite::instantiate(0, BehaviorSpec::Loop { mean_trip: 8 }, &mut r);
+        let trip = s.trip;
+        assert!(trip >= 2);
+        let mut outcomes = Vec::new();
+        for _ in 0..trip * 3 {
+            outcomes.push(s.next_outcome(0, &mut r));
+        }
+        // Exactly one not-taken per trip iterations.
+        let not_taken: usize = outcomes.iter().filter(|&&t| !t).count();
+        assert_eq!(not_taken, 3);
+        // And it repeats with period `trip`.
+        let first_exit = outcomes.iter().position(|&t| !t).unwrap();
+        assert_eq!(first_exit, trip as usize - 1);
+    }
+
+    #[test]
+    fn biased_site_matches_bias() {
+        let mut r = rng();
+        let mut s = BranchSite::instantiate(0, BehaviorSpec::Biased { p_taken: 0.9 }, &mut r);
+        let taken = (0..20_000).filter(|_| s.next_outcome(0, &mut r)).count();
+        let frac = taken as f64 / 20_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn linear_history_is_deterministic_without_noise() {
+        let mut r = rng();
+        let mut s = BranchSite::instantiate(
+            0,
+            BehaviorSpec::LinearHistory { taps: 5, noise: 0.0 },
+            &mut r,
+        );
+        for h in [0u64, 0xFFFF, 0xAAAA, 0x1357] {
+            let a = s.next_outcome(h, &mut r);
+            let b = s.next_outcome(h, &mut r);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn xor_history_follows_parity() {
+        let mut r = rng();
+        let mut s = BranchSite::instantiate(0, BehaviorSpec::XorHistory { noise: 0.0 }, &mut r);
+        let (a, _) = s.taps[0];
+        let (b, _) = s.taps[1];
+        assert_ne!(a, b);
+        let h_same = 0u64; // both bits 0 -> xor 0 -> not taken
+        assert!(!s.next_outcome(h_same, &mut r));
+        let h_diff = 1u64 << a; // one bit set -> xor 1 -> taken
+        assert!(s.next_outcome(h_diff, &mut r));
+    }
+
+    #[test]
+    fn taps_stay_below_max_tap() {
+        let mut r = rng();
+        for i in 0..50 {
+            let s = BranchSite::instantiate(
+                i,
+                BehaviorSpec::LinearHistory { taps: 5, noise: 0.1 },
+                &mut r,
+            );
+            assert!(s.taps.iter().all(|&(t, _)| t < MAX_TAP));
+        }
+    }
+
+    #[test]
+    fn intrinsic_rates_are_sane() {
+        assert!(
+            BehaviorSpec::Random { p_taken: 0.5 }.intrinsic_miss_rate()
+                > BehaviorSpec::Biased { p_taken: 0.95 }.intrinsic_miss_rate()
+        );
+        assert!((BehaviorSpec::Loop { mean_trip: 10 }.intrinsic_miss_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcs_are_unique_per_site() {
+        let mut r = rng();
+        let a = BranchSite::instantiate(1, BehaviorSpec::Random { p_taken: 0.5 }, &mut r);
+        let b = BranchSite::instantiate(2, BehaviorSpec::Random { p_taken: 0.5 }, &mut r);
+        assert_ne!(a.pc, b.pc);
+    }
+}

@@ -1,0 +1,329 @@
+//! Trace recording and replay.
+//!
+//! The paper's simulator is trace-driven ("long instruction traces").
+//! This module provides the equivalent plumbing for the synthetic
+//! workloads: dump any generator's correct-path uop stream to a
+//! compact binary file with [`TraceWriter`], and feed it back to the
+//! simulator (or any other consumer) with [`TraceReader`]. Replay is
+//! bit-identical to live generation, so traces can be archived,
+//! diffed and shared.
+//!
+//! # Format
+//!
+//! A 16-byte header (`magic`, version, record count) followed by
+//! fixed-width 27-byte records, little-endian:
+//!
+//! ```text
+//! kind: u8  src1: u32  src2: u32  payload: u64  aux: u64  flags: u8  seq_check: u8
+//! ```
+//!
+//! `payload` is the memory address for loads/stores and the PC for
+//! branches; `aux` carries the branch site id; `flags` bit 0 is the
+//! branch outcome. `seq_check` is a rolling checksum byte that lets
+//! the reader detect truncated or corrupted files early.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use perconf_workload::{spec2000_config, TraceReader, TraceWriter, WorkloadGenerator};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let cfg = spec2000_config("gcc").unwrap();
+//! let mut gen = WorkloadGenerator::new(&cfg);
+//! TraceWriter::record(&mut gen, 1_000_000, "gcc.trace")?;
+//! let uops: Vec<_> = TraceReader::open("gcc.trace")?.collect::<Result<_, _>>()?;
+//! assert_eq!(uops.len(), 1_000_000);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::generator::WorkloadGenerator;
+use crate::uop::{Branch, MemRef, Uop, UopKind};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 8] = *b"PERCONF1";
+const RECORD_BYTES: usize = 27;
+
+fn kind_to_u8(kind: UopKind) -> u8 {
+    match kind {
+        UopKind::IntAlu => 0,
+        UopKind::IntMul => 1,
+        UopKind::Load => 2,
+        UopKind::Store => 3,
+        UopKind::Fp => 4,
+        UopKind::Branch => 5,
+    }
+}
+
+fn kind_from_u8(v: u8) -> io::Result<UopKind> {
+    Ok(match v {
+        0 => UopKind::IntAlu,
+        1 => UopKind::IntMul,
+        2 => UopKind::Load,
+        3 => UopKind::Store,
+        4 => UopKind::Fp,
+        5 => UopKind::Branch,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid uop kind {other}"),
+            ))
+        }
+    })
+}
+
+fn checksum(bytes: &[u8]) -> u8 {
+    bytes.iter().fold(0x5Au8, |a, &b| a.wrapping_mul(31).wrapping_add(b))
+}
+
+/// Writes uop traces to disk.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    written: u64,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates a trace file at `path`, reserving space for the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&MAGIC)?;
+        out.write_all(&0u64.to_le_bytes())?; // record count placeholder
+        Ok(Self { out, written: 0 })
+    }
+
+    /// Records `n` correct-path uops from `gen` into a new trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn record<P: AsRef<Path>>(
+        gen: &mut WorkloadGenerator,
+        n: u64,
+        path: P,
+    ) -> io::Result<()> {
+        let path = path.as_ref();
+        let mut w = Self::create(path)?;
+        for _ in 0..n {
+            w.write_uop(&gen.next_uop())?;
+        }
+        w.finish()?;
+        // Rewrite the header record count.
+        let mut f = std::fs::OpenOptions::new().write(true).open(path)?;
+        use std::io::Seek;
+        f.seek(io::SeekFrom::Start(8))?;
+        f.write_all(&n.to_le_bytes())?;
+        Ok(())
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Appends one uop record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_uop(&mut self, uop: &Uop) -> io::Result<()> {
+        let mut rec = [0u8; RECORD_BYTES];
+        rec[0] = kind_to_u8(uop.kind);
+        rec[1..5].copy_from_slice(&uop.src1.to_le_bytes());
+        rec[5..9].copy_from_slice(&uop.src2.to_le_bytes());
+        let (payload, aux, flags) = match (uop.mem, uop.branch) {
+            (Some(m), None) => (m.addr, 0u64, 0u8),
+            (None, Some(b)) => (b.pc, u64::from(b.site), u8::from(b.taken)),
+            _ => (0, 0, 0),
+        };
+        rec[9..17].copy_from_slice(&payload.to_le_bytes());
+        rec[17..25].copy_from_slice(&aux.to_le_bytes());
+        rec[25] = flags;
+        rec[26] = checksum(&rec[..26]);
+        self.out.write_all(&rec)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Streams uops back out of a trace file.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    remaining: u64,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file and validates its header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or if the magic does not match.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a perconf trace (bad magic)",
+            ));
+        }
+        let mut count = [0u8; 8];
+        input.read_exact(&mut count)?;
+        Ok(Self {
+            input,
+            remaining: u64::from_le_bytes(count),
+        })
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Records left to read.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn read_record(&mut self) -> io::Result<Uop> {
+        let mut rec = [0u8; RECORD_BYTES];
+        self.input.read_exact(&mut rec)?;
+        if checksum(&rec[..26]) != rec[26] {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace record checksum mismatch",
+            ));
+        }
+        let kind = kind_from_u8(rec[0])?;
+        let src1 = u32::from_le_bytes(rec[1..5].try_into().expect("4 bytes"));
+        let src2 = u32::from_le_bytes(rec[5..9].try_into().expect("4 bytes"));
+        let payload = u64::from_le_bytes(rec[9..17].try_into().expect("8 bytes"));
+        let aux = u64::from_le_bytes(rec[17..25].try_into().expect("8 bytes"));
+        let flags = rec[25];
+        let (mem, branch) = match kind {
+            UopKind::Load | UopKind::Store => (Some(MemRef { addr: payload }), None),
+            UopKind::Branch => (
+                None,
+                Some(Branch {
+                    pc: payload,
+                    site: u32::try_from(aux).map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "site id overflow")
+                    })?,
+                    taken: flags & 1 == 1,
+                }),
+            ),
+            _ => (None, None),
+        };
+        Ok(Uop {
+            kind,
+            src1,
+            src2,
+            mem,
+            branch,
+        })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<Uop>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.read_record())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec2000_config;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("perconf-trace-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_uop() {
+        let cfg = spec2000_config("gcc").unwrap();
+        let path = tmp("roundtrip");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 5_000, &path).unwrap();
+
+        let replayed: Vec<Uop> = TraceReader::open(&path)
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        let original: Vec<Uop> = WorkloadGenerator::new(&cfg).take(5_000).collect();
+        assert_eq!(replayed, original);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_count_matches_records() {
+        let cfg = spec2000_config("eon").unwrap();
+        let path = tmp("count");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 123, &path).unwrap();
+        let r = TraceReader::open(&path).unwrap();
+        assert_eq!(r.remaining(), 123);
+        assert_eq!(r.count(), 123);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTATRACE-PADDING").unwrap();
+        assert!(TraceReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_record_is_detected() {
+        let cfg = spec2000_config("gap").unwrap();
+        let path = tmp("corrupt");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 10, &path).unwrap();
+        // Flip a byte inside the first record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16 + 10] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        assert!(r.next().unwrap().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_errors_instead_of_hanging() {
+        let cfg = spec2000_config("vpr").unwrap();
+        let path = tmp("trunc");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 100, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let results: Vec<_> = TraceReader::open(&path).unwrap().collect();
+        assert!(results.iter().any(std::result::Result::is_err));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,142 @@
+use serde::{Deserialize, Serialize};
+
+/// The functional-unit class of a micro-operation.
+///
+/// Latency and issue-port binding are decided by the pipeline
+/// simulator; this enum only conveys what kind of work the uop is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UopKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer operation (multiply/divide class).
+    IntMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Floating-point operation.
+    Fp,
+    /// Conditional branch (always carries a [`Branch`]).
+    Branch,
+}
+
+impl UopKind {
+    /// Returns `true` for loads and stores.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::Store)
+    }
+}
+
+/// Conditional-branch payload of a [`Uop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Branch {
+    /// Instruction address of the branch (used to index predictor and
+    /// confidence-estimator tables).
+    pub pc: u64,
+    /// Static branch-site identifier within the workload.
+    pub site: u32,
+    /// Architectural (actual) outcome of this dynamic instance.
+    pub taken: bool,
+}
+
+/// Memory reference payload of a load or store [`Uop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Byte address accessed.
+    pub addr: u64,
+}
+
+/// One micro-operation of the synthetic trace.
+///
+/// Register dependences are encoded as *producer distances*: `src1`/
+/// `src2` give how many uops earlier (in program order) the producing
+/// uop appeared; `0` means "no dependence / long-ready".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Uop {
+    /// Functional-unit class.
+    pub kind: UopKind,
+    /// Distance (in uops) to the first source producer; 0 = none.
+    pub src1: u32,
+    /// Distance (in uops) to the second source producer; 0 = none.
+    pub src2: u32,
+    /// Memory reference, present iff `kind.is_mem()`.
+    pub mem: Option<MemRef>,
+    /// Branch payload, present iff `kind == UopKind::Branch`.
+    pub branch: Option<Branch>,
+}
+
+impl Uop {
+    /// Creates a non-memory, non-branch uop.
+    #[must_use]
+    pub fn alu(kind: UopKind, src1: u32, src2: u32) -> Self {
+        debug_assert!(!kind.is_mem() && kind != UopKind::Branch);
+        Self {
+            kind,
+            src1,
+            src2,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Creates a load or store uop.
+    #[must_use]
+    pub fn mem(kind: UopKind, addr: u64, src1: u32) -> Self {
+        debug_assert!(kind.is_mem());
+        Self {
+            kind,
+            src1,
+            src2: 0,
+            mem: Some(MemRef { addr }),
+            branch: None,
+        }
+    }
+
+    /// Creates a conditional-branch uop.
+    #[must_use]
+    pub fn branch(pc: u64, site: u32, taken: bool, src1: u32) -> Self {
+        Self {
+            kind: UopKind::Branch,
+            src1,
+            src2: 0,
+            mem: None,
+            branch: Some(Branch { pc, site, taken }),
+        }
+    }
+
+    /// Returns `true` if this is a conditional branch.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        self.branch.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_payloads() {
+        let b = Uop::branch(0x40, 3, true, 2);
+        assert!(b.is_branch());
+        assert_eq!(b.kind, UopKind::Branch);
+        assert_eq!(b.branch.unwrap().site, 3);
+        assert!(b.branch.unwrap().taken);
+
+        let l = Uop::mem(UopKind::Load, 0x1000, 1);
+        assert_eq!(l.mem.unwrap().addr, 0x1000);
+        assert!(!l.is_branch());
+
+        let a = Uop::alu(UopKind::IntAlu, 1, 2);
+        assert!(a.mem.is_none() && a.branch.is_none());
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(UopKind::Load.is_mem());
+        assert!(UopKind::Store.is_mem());
+        assert!(!UopKind::Branch.is_mem());
+        assert!(!UopKind::Fp.is_mem());
+    }
+}

@@ -1,0 +1,131 @@
+use rand::Rng;
+
+/// Zipf-distributed sampler over ranks `0..n`, used to give branch
+/// sites a realistic skewed execution-frequency profile (a few hot
+/// branches dominate the dynamic stream).
+///
+/// # Examples
+///
+/// ```
+/// use perconf_workload::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 100);
+/// // rank 0 is the most likely
+/// assert!(z.mass(0) > z.mass(99));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`
+    /// (`s = 0` → uniform; larger `s` → more skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    #[must_use]
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / f64::from(k).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if there are no ranks (never: construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn mass(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masses_sum_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let sum: f64 = (0..50).map(|r| z.mass(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.mass(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hot_rank_dominates_samples() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut count0 = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        // mass(0) ≈ 1/H(100) ≈ 0.193
+        assert!(count0 > 1500 && count0 < 2500, "count0={count0}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

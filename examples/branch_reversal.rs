@@ -1,0 +1,56 @@
+//! Branch reversal (§5.5): use the perceptron estimator's *strongly
+//! low confident* class to invert predictions that are probably wrong,
+//! and watch the speculated misprediction rate drop below the base
+//! predictor's.
+//!
+//! ```text
+//! cargo run --release --example branch_reversal [bench]
+//! ```
+
+use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::core::{
+    ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+};
+use perconf::pipeline::{PipelineConfig, Simulation};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_owned());
+    let wl = perconf::workload::spec2000_config(&bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+
+    // The combined three-way configuration: StrongLow → reverse.
+    // (No gating here: the pipeline config has gating disabled, so the
+    // WeakLow class has no effect and we see reversal in isolation.)
+    let ce = PerceptronCe::new(PerceptronCeConfig::combined());
+    let mut sim = Simulation::new(
+        PipelineConfig::deep(),
+        &wl,
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(ce) as Box<dyn ConfidenceEstimator>,
+        ),
+    );
+    sim.warmup(200_000);
+    let s = sim.run(400_000).clone();
+
+    println!("benchmark {bench}, reversal above y > 90, 40-cycle pipeline\n");
+    println!("branches retired        : {}", s.branches_retired);
+    println!(
+        "base mispredicts        : {} ({:.2}%)",
+        s.base_mispredicts,
+        s.base_mispredicts as f64 * 100.0 / s.branches_retired as f64
+    );
+    println!(
+        "speculated mispredicts  : {} ({:.2}%)",
+        s.speculated_mispredicts,
+        s.speculated_mispredicts as f64 * 100.0 / s.branches_retired as f64
+    );
+    println!("reversals               : {}", s.reversals);
+    println!("  fixed a misprediction : {}", s.reversals_good);
+    println!("  broke a correct one   : {}", s.reversals_bad);
+    let net = s.reversals_good as i64 - s.reversals_bad as i64;
+    println!(
+        "net mispredictions fixed: {net} ({:+.2}% of base mispredicts)",
+        net as f64 * 100.0 / s.base_mispredicts.max(1) as f64
+    );
+}

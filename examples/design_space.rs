@@ -1,0 +1,65 @@
+//! Walk the gating design space the paper's conclusion describes: a
+//! spectrum from "no performance loss, modest reduction" to "small
+//! loss, large reduction", by sweeping the perceptron estimator's λ.
+//!
+//! ```text
+//! cargo run --release --example design_space [bench]
+//! ```
+
+use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::core::{
+    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+};
+use perconf::metrics::{Align, Table};
+use perconf::pipeline::{PipelineConfig, SimStats, Simulation};
+
+fn run(wl: &perconf::workload::WorkloadConfig, cfg: PipelineConfig, lambda: Option<i32>) -> SimStats {
+    let est: Box<dyn ConfidenceEstimator> = match lambda {
+        None => Box::new(AlwaysHigh),
+        Some(lambda) => Box::new(PerceptronCe::new(PerceptronCeConfig {
+            lambda,
+            ..PerceptronCeConfig::default()
+        })),
+    };
+    let mut sim = Simulation::new(
+        cfg,
+        wl,
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            est,
+        ),
+    );
+    sim.warmup(120_000);
+    sim.run(250_000).clone()
+}
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "vpr".to_owned());
+    let wl = perconf::workload::spec2000_config(&bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let pipe = PipelineConfig::deep();
+
+    let base = run(&wl, pipe, None);
+    let mut t = Table::with_headers(&["λ", "U(fetch)%", "U(exec)%", "P%", "gated cycles%"]);
+    for i in 1..5 {
+        t.align(i, Align::Right);
+    }
+    println!("gating design space on {bench} (perceptron estimator, PL1, 40-cycle pipe)\n");
+    for lambda in [50, 25, 0, -25, -50, -75, -100] {
+        let g = run(&wl, pipe.gated(1), Some(lambda));
+        let fetched = |s: &SimStats| (s.fetched_correct + s.fetched_wrong) as f64;
+        t.row(vec![
+            lambda.to_string(),
+            format!("{:.1}", (1.0 - fetched(&g) / fetched(&base)) * 100.0),
+            format!(
+                "{:.1}",
+                (1.0 - g.executed_total() as f64 / base.executed_total() as f64) * 100.0
+            ),
+            format!("{:.1}", (g.cycles as f64 / base.cycles as f64 - 1.0) * 100.0),
+            format!("{:.1}", g.gated_cycles as f64 * 100.0 / g.cycles as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Lower λ flags more branches: more fetch suppressed, more stall risk —");
+    println!("the spectrum of design options the paper's conclusion describes.");
+}

@@ -1,0 +1,89 @@
+//! Pipeline gating end to end: run the cycle-level out-of-order
+//! simulator on one benchmark with and without gating and compare
+//! wasted wrong-path work and performance — a single cell of the
+//! paper's Table 4.
+//!
+//! ```text
+//! cargo run --release --example pipeline_gating [bench] [lambda]
+//! ```
+
+use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::core::{
+    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+};
+use perconf::pipeline::{PipelineConfig, Simulation};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "twolf".to_owned());
+    let lambda: i32 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let wl = perconf::workload::spec2000_config(&bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let pipe = PipelineConfig::deep(); // the paper's 40-cycle 4-wide machine
+    let warmup = 150_000;
+    let run = 350_000;
+
+    // Baseline: no gating (estimator present but never flags).
+    let mut base = Simulation::new(
+        pipe,
+        &wl,
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>,
+        ),
+    );
+    base.warmup(warmup);
+    let b = base.run(run).clone();
+
+    // Gated: perceptron estimator, PL1 counter.
+    let mut gated = Simulation::new(
+        pipe.gated(1),
+        &wl,
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(PerceptronCe::new(PerceptronCeConfig {
+                lambda,
+                ..PerceptronCeConfig::default()
+            })) as Box<dyn ConfidenceEstimator>,
+        ),
+    );
+    gated.warmup(warmup);
+    let g = gated.run(run).clone();
+
+    println!("benchmark {bench}, perceptron λ = {lambda}, PL1, 40-cycle pipeline\n");
+    println!("{:<28} {:>12} {:>12}", "", "baseline", "gated");
+    let row = |name: &str, a: f64, b: f64| println!("{name:<28} {a:>12.3} {b:>12.3}");
+    row("IPC", b.ipc(), g.ipc());
+    row(
+        "wrong-path fetched /kuop",
+        b.fetched_wrong as f64 * 1000.0 / b.retired as f64,
+        g.fetched_wrong as f64 * 1000.0 / g.retired as f64,
+    );
+    row(
+        "wrong-path executed /kuop",
+        b.executed_wrong as f64 * 1000.0 / b.retired as f64,
+        g.executed_wrong as f64 * 1000.0 / g.retired as f64,
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "cycles fetch was gated", b.gated_cycles, g.gated_cycles
+    );
+    println!();
+    let u_fetch = 1.0
+        - (g.fetched_correct + g.fetched_wrong) as f64
+            / (b.fetched_correct + b.fetched_wrong) as f64;
+    let u_exec = 1.0 - g.executed_total() as f64 / b.executed_total() as f64;
+    let p = g.cycles as f64 / b.cycles as f64 - 1.0;
+    println!("U (fetched uops reduced) : {:.1}%", u_fetch * 100.0);
+    println!("U (executed uops reduced): {:.1}%", u_exec * 100.0);
+    println!("P (performance loss)     : {:.1}%", p * 100.0);
+    println!(
+        "\nestimator quality on this run: PVN {:.0}%, Spec {:.0}%",
+        g.confusion.pvn() * 100.0,
+        g.confusion.spec() * 100.0
+    );
+}

@@ -1,0 +1,56 @@
+//! Tiny-scale smoke tests of the experiment drivers: every table and
+//! figure driver must run end to end and produce structurally sound
+//! output. (The real reproduction runs at `--full`; these only guard
+//! the plumbing.)
+
+use perconf::experiments::{fig89, figs, table2, table3, Scale};
+
+#[test]
+fn table2_driver_produces_all_rows() {
+    let t = table2::run(Scale::tiny());
+    assert_eq!(t.rows.len(), 12);
+    for row in &t.rows {
+        assert!(row.mpku >= 0.0);
+        for w in row.waste {
+            assert!(w.fetched >= 0.0);
+        }
+    }
+    let rendered = t.render();
+    assert!(rendered.contains("mcf"));
+    assert!(rendered.contains("average"));
+}
+
+#[test]
+fn table3_driver_sweeps_all_lambdas() {
+    let t = table3::run(Scale::tiny());
+    assert_eq!(t.jrs.len(), 4);
+    assert_eq!(t.perceptron.len(), 4);
+    for r in t.jrs.iter().chain(&t.perceptron) {
+        assert!((0.0..=100.0).contains(&r.pvn), "pvn {}", r.pvn);
+        assert!((0.0..=100.0).contains(&r.spec), "spec {}", r.spec);
+    }
+    // JRS coverage should rise with λ even at tiny scale.
+    assert!(t.jrs.last().unwrap().spec >= t.jrs.first().unwrap().spec);
+}
+
+#[test]
+fn figs_driver_counts_match_between_ranges() {
+    let f = figs::run(figs::Training::CorrectIncorrect, "gcc", Scale::tiny());
+    // Same samples go into both histograms (zoom clamps to edges).
+    assert_eq!(
+        f.full.correct.count() + f.full.mispredicted.count(),
+        f.zoom.correct.count() + f.zoom.mispredicted.count()
+    );
+    let (csv_full, csv_zoom) = f.to_csv();
+    assert!(csv_full.starts_with("bin,correct,mispredicted"));
+    assert!(csv_zoom.lines().count() > 10);
+}
+
+#[test]
+fn fig89_driver_covers_all_benchmarks() {
+    let f = fig89::run(fig89::Machine::Wide, Scale::tiny());
+    assert_eq!(f.rows.len(), 12);
+    let rendered = f.render();
+    assert!(rendered.contains("Figure 9"));
+    assert!(rendered.contains("average"));
+}

@@ -1,0 +1,172 @@
+//! Integration tests spanning all crates: full pipeline runs with
+//! every estimator, gating, reversal, and the experiment drivers at
+//! tiny scale.
+
+use perconf::bpred::{baseline_bimodal_gshare, gshare_perceptron, BranchPredictor};
+use perconf::core::{
+    AlwaysHigh, ConfidenceEstimator, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
+    PerceptronTnt, PerceptronTntConfig, SmithCe, SpeculationController, TysonCe,
+};
+use perconf::pipeline::{PipelineConfig, Simulation};
+use perconf::workload::spec2000_config;
+
+fn sim_with(
+    cfg: PipelineConfig,
+    bench: &str,
+    est: Box<dyn ConfidenceEstimator>,
+) -> Simulation {
+    let wl = spec2000_config(bench).unwrap();
+    Simulation::new(
+        cfg,
+        &wl,
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            est,
+        ),
+    )
+}
+
+#[test]
+fn every_estimator_survives_a_gated_pipeline_run() {
+    let estimators: Vec<Box<dyn ConfidenceEstimator>> = vec![
+        Box::new(AlwaysHigh),
+        Box::new(PerceptronCe::new(PerceptronCeConfig::default())),
+        Box::new(PerceptronCe::new(PerceptronCeConfig::combined())),
+        Box::new(PerceptronTnt::new(PerceptronTntConfig::default())),
+        Box::new(JrsEstimator::new(JrsConfig::default())),
+        Box::new(SmithCe::new(12, 2)),
+        Box::new(TysonCe::new(12, 8)),
+    ];
+    for est in estimators {
+        let name = est.name();
+        let mut sim = sim_with(PipelineConfig::shallow().gated(2), "twolf", est);
+        let stats = sim.run(15_000);
+        assert!(stats.retired >= 15_000, "{name} retired too few");
+        assert!(stats.ipc() > 0.05, "{name} ipc collapsed");
+    }
+}
+
+#[test]
+fn gshare_perceptron_predictor_works_in_pipeline() {
+    let wl = spec2000_config("gcc").unwrap();
+    let mut sim = Simulation::new(
+        PipelineConfig::shallow(),
+        &wl,
+        SpeculationController::new(
+            Box::new(gshare_perceptron()) as Box<dyn BranchPredictor>,
+            Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>,
+        ),
+    );
+    let stats = sim.run(20_000);
+    assert!(stats.branches_retired > 1_000);
+    assert!(stats.mispredict_rate() < 0.5);
+}
+
+#[test]
+fn better_predictor_mispredicts_less() {
+    // §5.2's premise: the gshare-perceptron hybrid beats bimodal-gshare
+    // on workloads with long-range correlations.
+    let wl = spec2000_config("mcf").unwrap();
+    let run = |p: Box<dyn BranchPredictor>| {
+        let mut sim = Simulation::new(
+            PipelineConfig::shallow(),
+            &wl,
+            SpeculationController::new(p, Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>),
+        );
+        sim.warmup(80_000);
+        sim.run(120_000).mpku()
+    };
+    let bg = run(Box::new(baseline_bimodal_gshare()));
+    let gp = run(Box::new(gshare_perceptron()));
+    assert!(
+        gp < bg * 1.05,
+        "gshare-perceptron ({gp:.2}) should not be clearly worse than bimodal-gshare ({bg:.2})"
+    );
+}
+
+#[test]
+fn gating_trades_fetch_for_cycles() {
+    let wl = spec2000_config("vpr").unwrap();
+    let mk = || {
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(PerceptronCe::new(PerceptronCeConfig {
+                lambda: -25,
+                ..PerceptronCeConfig::default()
+            })) as Box<dyn ConfidenceEstimator>,
+        )
+    };
+    let mut base = Simulation::new(PipelineConfig::deep(), &wl, mk());
+    let mut gated = Simulation::new(PipelineConfig::deep().gated(1), &wl, mk());
+    base.warmup(60_000);
+    gated.warmup(60_000);
+    let b = base.run(120_000).clone();
+    let g = gated.run(120_000).clone();
+    assert!(g.gated_cycles > 0);
+    let bf = b.fetched_correct + b.fetched_wrong;
+    let gf = g.fetched_correct + g.fetched_wrong;
+    assert!(gf < bf, "gating must reduce total fetch: {gf} vs {bf}");
+}
+
+#[test]
+fn identical_runs_are_deterministic() {
+    let wl = spec2000_config("gap").unwrap();
+    let run = || {
+        let mut sim = Simulation::new(
+            PipelineConfig::shallow().gated(1),
+            &wl,
+            SpeculationController::new(
+                Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+                Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
+                    as Box<dyn ConfidenceEstimator>,
+            ),
+        );
+        let s = sim.run(30_000);
+        (
+            s.cycles,
+            s.fetched_wrong,
+            s.executed_wrong,
+            s.base_mispredicts,
+            s.gated_cycles,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn all_twelve_benchmarks_run_on_all_three_machines() {
+    for cfg in [
+        PipelineConfig::shallow(),
+        PipelineConfig::wide(),
+        PipelineConfig::deep(),
+    ] {
+        for wl in perconf::workload::spec2000() {
+            let mut sim = Simulation::with_defaults(cfg, &wl);
+            let stats = sim.run(4_000);
+            assert!(stats.retired >= 4_000, "{} stalled", wl.name);
+        }
+    }
+}
+
+#[test]
+fn reversal_improves_speculated_rate_on_hard_benchmark() {
+    let wl = spec2000_config("mcf").unwrap();
+    let mut sim = Simulation::new(
+        PipelineConfig::deep(),
+        &wl,
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(PerceptronCe::new(PerceptronCeConfig::combined()))
+                as Box<dyn ConfidenceEstimator>,
+        ),
+    );
+    sim.warmup(100_000);
+    let s = sim.run(200_000);
+    assert!(s.reversals > 0);
+    assert!(
+        s.speculated_mispredicts <= s.base_mispredicts,
+        "reversal should not increase mispredictions overall: {} vs {}",
+        s.speculated_mispredicts,
+        s.base_mispredicts
+    );
+}

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cross-crate invariants.
+
+use perconf::bpred::{Bimodal, BranchPredictor, GlobalHistory, Gshare, ResettingCounter, SatCounter};
+use perconf::core::{
+    ConfidenceClass, ConfidenceEstimator, EstimateCtx, GateCounter, JrsConfig, JrsEstimator,
+    PerceptronCe, PerceptronCeConfig,
+};
+use perconf::metrics::{ConfusionMatrix, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sat_counter_stays_in_range(bits in 1u8..=7, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SatCounter::new(bits);
+        for up in ops {
+            c.update(up);
+            prop_assert!(c.value() <= c.max());
+        }
+    }
+
+    #[test]
+    fn sat_counter_converges_to_extreme(bits in 1u8..=7) {
+        let mut c = SatCounter::new(bits);
+        for _ in 0..200 {
+            c.inc();
+        }
+        prop_assert_eq!(c.value(), c.max());
+        prop_assert!(c.is_saturated());
+        for _ in 0..200 {
+            c.dec();
+        }
+        prop_assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn resetting_counter_value_equals_streak(bits in 2u8..=7, outcomes in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let mut c = ResettingCounter::new(bits);
+        let mut streak = 0u32;
+        for correct in outcomes {
+            if correct {
+                c.correct();
+                streak += 1;
+            } else {
+                c.incorrect();
+                streak = 0;
+            }
+            prop_assert_eq!(u32::from(c.value()), streak.min(u32::from(c.max())));
+        }
+    }
+
+    #[test]
+    fn global_history_matches_reference(len in 1u32..=64, pushes in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let mut h = GlobalHistory::new(len);
+        let mut reference = 0u128;
+        for taken in pushes {
+            h.push(taken);
+            reference = (reference << 1) | u128::from(taken);
+        }
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        prop_assert_eq!(h.snapshot(), (reference as u64) & mask);
+    }
+
+    #[test]
+    fn gate_counter_never_goes_negative(ops in proptest::collection::vec(any::<bool>(), 0..100), threshold in 1u32..=4) {
+        let mut g = GateCounter::new(threshold);
+        let mut in_flight = 0i64;
+        for fetch in ops {
+            if fetch {
+                g.on_low_conf_fetch();
+                in_flight += 1;
+            } else {
+                g.on_low_conf_resolve();
+                in_flight = (in_flight - 1).max(0);
+            }
+            prop_assert_eq!(i64::from(g.count()), in_flight);
+            prop_assert_eq!(g.should_gate(), g.count() >= threshold);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_metrics_bounded(events in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..300)) {
+        let mut cm = ConfusionMatrix::new();
+        for (miss, low) in &events {
+            cm.record(*miss, *low);
+        }
+        prop_assert_eq!(cm.total(), events.len() as u64);
+        for m in [cm.pvn(), cm.spec(), cm.sens(), cm.pvp(), cm.misprediction_rate()] {
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_mass(lo in -200i64..0, width in 1u32..=32, samples in proptest::collection::vec(-500i64..500, 0..300)) {
+        let hi = lo + 100;
+        let mut h = Histogram::new(lo, hi, width);
+        for &s in &samples {
+            h.add(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let total: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, samples.len() as u64);
+    }
+
+    #[test]
+    fn bimodal_predicts_majority_after_training(taken in any::<bool>(), pc in 0u64..100_000) {
+        let mut p = Bimodal::new(12);
+        for _ in 0..4 {
+            p.train(pc, 0, taken);
+        }
+        prop_assert_eq!(p.predict(pc, 0), taken);
+    }
+
+    #[test]
+    fn gshare_learns_any_fixed_context(pc in 0u64..100_000, hist in 0u64..4096, taken in any::<bool>()) {
+        let mut p = Gshare::new(14, 12);
+        for _ in 0..4 {
+            p.train(pc, hist, taken);
+        }
+        prop_assert_eq!(p.predict(pc, hist), taken);
+    }
+
+    #[test]
+    fn perceptron_ce_weights_bounded_under_arbitrary_training(
+        updates in proptest::collection::vec((0u64..4096, 0u64..u64::MAX, any::<bool>(), any::<bool>()), 0..400),
+        weight_bits in 2u32..=8,
+    ) {
+        let mut ce = PerceptronCe::new(PerceptronCeConfig {
+            entries: 8,
+            hist_len: 16,
+            weight_bits,
+            ..PerceptronCeConfig::default()
+        });
+        let bound = 1i64 << (weight_bits - 1);
+        for (pc, hist, pred, miss) in updates {
+            let ctx = EstimateCtx { pc, history: hist, predicted_taken: pred };
+            let est = ce.estimate(&ctx);
+            ce.train(&ctx, est, miss);
+            // The output is the sum of 17 bounded weights.
+            let y = i64::from(ce.output(pc, hist));
+            prop_assert!(y.abs() <= 17 * bound);
+        }
+    }
+
+    #[test]
+    fn jrs_flags_immediately_after_any_miss(
+        pc in 0u64..100_000,
+        hist in 0u64..65_536,
+        pred in any::<bool>(),
+        lambda in 1u8..=15,
+    ) {
+        let mut jrs = JrsEstimator::new(JrsConfig { lambda, ..JrsConfig::default() });
+        let ctx = EstimateCtx { pc, history: hist, predicted_taken: pred };
+        // Regardless of prior state, a miss resets the counter, so the
+        // very next estimate in the same context must be low confidence.
+        let est = jrs.estimate(&ctx);
+        jrs.train(&ctx, est, true);
+        prop_assert!(jrs.estimate(&ctx).is_low());
+    }
+
+    #[test]
+    fn estimate_classes_are_ordered_by_raw_output(y1 in -500i32..500, y2 in -500i32..500) {
+        // For the perceptron CE's classifier: if y1 <= y2 then class
+        // rank (High < WeakLow < StrongLow) must not decrease.
+        let ce = PerceptronCe::new(PerceptronCeConfig::combined());
+        let rank = |y: i32| {
+            // classify via a lookup with forged weights is not public;
+            // instead check using the config thresholds directly.
+            let cfg = ce.config();
+            if cfg.reverse_lambda.is_some_and(|r| y > r) {
+                2
+            } else if y >= cfg.lambda {
+                1
+            } else {
+                0
+            }
+        };
+        let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        prop_assert!(rank(lo) <= rank(hi));
+    }
+}
+
+#[test]
+fn confidence_class_equality_is_reflexive() {
+    for c in [
+        ConfidenceClass::High,
+        ConfidenceClass::WeakLow,
+        ConfidenceClass::StrongLow,
+    ] {
+        assert_eq!(c, c);
+    }
+}

@@ -1,0 +1,129 @@
+//! Conservation and consistency invariants of the pipeline simulator,
+//! checked across machine shapes, benchmarks and speculation-control
+//! configurations. These are the properties every experiment's
+//! arithmetic silently relies on.
+
+use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::core::{
+    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+};
+use perconf::pipeline::{PipelineConfig, SimStats, Simulation};
+use perconf::workload::spec2000_config;
+
+fn run(bench: &str, cfg: PipelineConfig, estimator: Option<i32>) -> SimStats {
+    let est: Box<dyn ConfidenceEstimator> = match estimator {
+        None => Box::new(AlwaysHigh),
+        Some(lambda) => Box::new(PerceptronCe::new(PerceptronCeConfig {
+            lambda,
+            ..PerceptronCeConfig::default()
+        })),
+    };
+    let mut sim = Simulation::new(
+        cfg,
+        &spec2000_config(bench).unwrap(),
+        SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            est,
+        ),
+    );
+    sim.run(25_000).clone()
+}
+
+fn check_invariants(s: &SimStats, label: &str) {
+    // Work can only shrink through the pipe.
+    assert!(
+        s.executed_correct >= s.retired,
+        "{label}: every retired uop must have executed ({} < {})",
+        s.executed_correct,
+        s.retired
+    );
+    assert!(
+        s.fetched_correct + 64 >= s.executed_correct,
+        "{label}: correct-path execution cannot exceed fetch"
+    );
+    assert!(
+        s.fetched_wrong >= s.executed_wrong,
+        "{label}: wrong-path execution cannot exceed wrong-path fetch"
+    );
+    // Squashed uops were fetched and never retired.
+    assert!(
+        s.squashed <= s.fetched_correct + s.fetched_wrong,
+        "{label}: squashed exceeds fetched"
+    );
+    // Every squash corresponds to a speculated misprediction; they are
+    // counted at different pipeline points (resolution vs retirement),
+    // so they may differ by the handful in flight when the run stops.
+    let diff = s.squashes.abs_diff(s.speculated_mispredicts);
+    assert!(
+        diff <= 8,
+        "{label}: squashes ({}) and speculated mispredicts ({}) diverge",
+        s.squashes,
+        s.speculated_mispredicts
+    );
+    // Confusion quadrants account for exactly the retired branches.
+    assert_eq!(
+        s.confusion.total(),
+        s.branches_retired,
+        "{label}: confusion totals"
+    );
+    assert_eq!(
+        s.confusion.mispredicted(),
+        s.base_mispredicts,
+        "{label}: confusion mispredict count"
+    );
+    // Reversal bookkeeping.
+    assert_eq!(
+        s.reversals,
+        s.reversals_good + s.reversals_bad,
+        "{label}: reversal split"
+    );
+    // Cycle accounting.
+    assert!(s.cycles > 0, "{label}: no cycles");
+    assert!(
+        s.gated_cycles + s.redirect_cycles <= s.cycles,
+        "{label}: stall cycles exceed total"
+    );
+}
+
+#[test]
+fn invariants_hold_without_gating() {
+    for bench in ["gcc", "mcf", "vortex", "twolf"] {
+        for cfg in [PipelineConfig::shallow(), PipelineConfig::deep()] {
+            let s = run(bench, cfg, None);
+            check_invariants(&s, &format!("{bench}-ungated"));
+            assert_eq!(s.gated_cycles, 0, "{bench}: gate fired without config");
+            assert_eq!(
+                s.base_mispredicts, s.speculated_mispredicts,
+                "{bench}: no reversal configured"
+            );
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_with_gating() {
+    for bench in ["vpr", "mcf"] {
+        for pl in [1, 2] {
+            let s = run(bench, PipelineConfig::deep().gated(pl), Some(0));
+            check_invariants(&s, &format!("{bench}-PL{pl}"));
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_on_wide_machine_with_latency() {
+    let s = run(
+        "twolf",
+        PipelineConfig::wide().gated(2).with_ce_latency(9),
+        Some(-25),
+    );
+    check_invariants(&s, "twolf-wide-lat9");
+}
+
+#[test]
+fn gating_never_reduces_retirement_below_target() {
+    // run() asks for 25k uops; even heavily gated configs must deliver.
+    let s = run("mcf", PipelineConfig::deep().gated(1), Some(-100));
+    assert!(s.retired >= 25_000);
+    assert!(s.gated_cycles > 0, "λ=-100 should gate frequently");
+}

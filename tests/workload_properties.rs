@@ -1,0 +1,99 @@
+//! Property-based tests on the synthetic workload generator: the
+//! invariants the simulator depends on.
+
+use perconf::workload::{spec2000, spec2000_config, UopKind, WorkloadGenerator};
+use proptest::prelude::*;
+
+fn benchmark_names() -> impl Strategy<Value = String> {
+    proptest::sample::select(
+        perconf::workload::SPEC2000_NAMES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generator_is_deterministic(name in benchmark_names()) {
+        let cfg = spec2000_config(&name).unwrap();
+        let a: Vec<_> = WorkloadGenerator::new(&cfg).take(2_000).collect();
+        let b: Vec<_> = WorkloadGenerator::new(&cfg).take(2_000).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branch_payloads_are_consistent(name in benchmark_names()) {
+        let cfg = spec2000_config(&name).unwrap();
+        let mut g = WorkloadGenerator::new(&cfg);
+        for _ in 0..3_000 {
+            let u = g.next_uop();
+            prop_assert_eq!(u.is_branch(), u.kind == UopKind::Branch);
+            prop_assert_eq!(u.mem.is_some(), u.kind.is_mem());
+            if let Some(b) = u.branch {
+                prop_assert!((b.site as usize) < g.program().sites.len());
+                prop_assert_eq!(g.program().sites[b.site as usize].pc, b.pc);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_path_stream_is_well_formed(name in benchmark_names()) {
+        let cfg = spec2000_config(&name).unwrap();
+        let mut g = WorkloadGenerator::new(&cfg);
+        for _ in 0..2_000 {
+            let u = g.next_wrong_path();
+            prop_assert_eq!(u.mem.is_some(), u.kind.is_mem());
+            if let Some(m) = u.mem {
+                prop_assert!(m.addr < cfg.working_set.max(64));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_wrong_path_never_perturbs_correct_path(
+        name in benchmark_names(),
+        pattern in proptest::collection::vec(0u8..5, 50..200),
+    ) {
+        let cfg = spec2000_config(&name).unwrap();
+        let mut clean = WorkloadGenerator::new(&cfg);
+        let mut dirty = WorkloadGenerator::new(&cfg);
+        for wp_count in pattern {
+            for _ in 0..wp_count {
+                let _ = dirty.next_wrong_path();
+            }
+            prop_assert_eq!(clean.next_uop(), dirty.next_uop());
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_emits_all_its_claimed_uop_kinds() {
+    for cfg in spec2000() {
+        let mut g = WorkloadGenerator::new(&cfg);
+        let mut saw_branch = false;
+        let mut saw_load = false;
+        let mut saw_store = false;
+        for _ in 0..20_000 {
+            match g.next_uop().kind {
+                UopKind::Branch => saw_branch = true,
+                UopKind::Load => saw_load = true,
+                UopKind::Store => saw_store = true,
+                _ => {}
+            }
+        }
+        assert!(saw_branch && saw_load && saw_store, "{}", cfg.name);
+    }
+}
+
+#[test]
+fn site_frequency_skew_is_zipf_like() {
+    // The hottest site should carry far more mass than the median one.
+    let cfg = spec2000_config("gzip").unwrap();
+    let prog = cfg.build_program();
+    let mut freqs = prog.site_freq.clone();
+    freqs.sort_by(|a, b| b.total_cmp(a));
+    assert!(freqs[0] > 10.0 * freqs[freqs.len() / 2].max(1e-12));
+}
