@@ -32,7 +32,11 @@ fn jrs_miss_policy(c: &mut Criterion) {
             ..JrsConfig::default()
         });
         let (pvn, spec) = quality(&mut probe);
-        println!("jrs {policy:?}: PVN={:.0}% Spec={:.0}%", pvn * 100.0, spec * 100.0);
+        println!(
+            "jrs {policy:?}: PVN={:.0}% Spec={:.0}%",
+            pvn * 100.0,
+            spec * 100.0
+        );
         g.bench_function(format!("{policy:?}"), |b| {
             b.iter(|| {
                 let mut ce = JrsEstimator::new(JrsConfig {

@@ -16,13 +16,7 @@ fn fig45_bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     g.bench_function("cic-density-gcc", |b| {
-        b.iter(|| {
-            black_box(figs::run(
-                Training::CorrectIncorrect,
-                "gcc",
-                Scale::tiny(),
-            ))
-        });
+        b.iter(|| black_box(figs::run(Training::CorrectIncorrect, "gcc", Scale::tiny())));
     });
     g.finish();
 }

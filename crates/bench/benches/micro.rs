@@ -5,9 +5,7 @@
 //! perceptron-latency study with exactly this dot-product cost).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use perconf_bpred::{
-    baseline_bimodal_gshare, BranchPredictor, Gshare, PerceptronPredictor,
-};
+use perconf_bpred::{baseline_bimodal_gshare, BranchPredictor, Gshare, PerceptronPredictor};
 use perconf_core::{
     ConfidenceEstimator, EstimateCtx, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
 };

@@ -1,4 +1,5 @@
 use crate::counter::SatCounter;
+use crate::faultable::FaultableState;
 use crate::traits::BranchPredictor;
 
 /// Classic per-PC 2-bit-counter ("bimodal") predictor (Smith 1981).
@@ -28,10 +29,7 @@ impl Bimodal {
     /// Panics if `index_bits` is 0 or greater than 28.
     #[must_use]
     pub fn new(index_bits: u32) -> Self {
-        assert!(
-            (1..=28).contains(&index_bits),
-            "index bits must be 1..=28"
-        );
+        assert!((1..=28).contains(&index_bits), "index bits must be 1..=28");
         Self {
             table: vec![SatCounter::new(2); 1 << index_bits],
             index_bits,
@@ -67,6 +65,17 @@ impl BranchPredictor for Bimodal {
 
     fn storage_bits(&self) -> u64 {
         2 * self.table.len() as u64
+    }
+}
+
+impl FaultableState for Bimodal {
+    fn state_bits(&self) -> u64 {
+        2 * self.table.len() as u64
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let bit = bit % self.state_bits();
+        self.table[(bit / 2) as usize].flip_state_bit(bit % 2);
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::faultable::FaultableState;
 use serde::{Deserialize, Serialize};
 
 /// An n-bit saturating up/down counter, the universal building block of
@@ -98,6 +99,18 @@ impl SatCounter {
     }
 }
 
+impl FaultableState for SatCounter {
+    fn state_bits(&self) -> u64 {
+        u64::from(self.max.count_ones())
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        // max = 2^bits - 1, so flipping any bit below the width leaves
+        // the value representable.
+        self.value ^= 1 << (bit % self.state_bits()) as u8;
+    }
+}
+
 /// A miss-distance resetting counter as used by the JRS confidence
 /// estimator: incremented (saturating) on a correct prediction, reset
 /// to zero on a misprediction. The counter value is then the number of
@@ -159,6 +172,16 @@ impl ResettingCounter {
     /// Records a misprediction (reset to zero).
     pub fn incorrect(&mut self) {
         self.value = 0;
+    }
+}
+
+impl FaultableState for ResettingCounter {
+    fn state_bits(&self) -> u64 {
+        u64::from(self.max.count_ones())
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        self.value ^= 1 << (bit % self.state_bits()) as u8;
     }
 }
 

@@ -1,0 +1,95 @@
+use crate::traits::BranchPredictor;
+
+/// Architectural predictor/estimator state that supports targeted
+/// single-bit upsets, for fault-injection studies.
+///
+/// Implementations expose their table state as a flat, stable bit
+/// address space of [`state_bits`](Self::state_bits) bits, numbered
+/// from 0. [`flip_state_bit`](Self::flip_state_bit) inverts exactly
+/// one bit of that space, modelling a transient particle strike in an
+/// SRAM cell. The bit numbering is deterministic for a given
+/// configuration, so a recorded fault plan replays identically.
+///
+/// Flipping any in-range bit must leave the structure in a state it
+/// could legally represent (no panics, no out-of-range counter values)
+/// — faults perturb behaviour, never crash the simulator. Out-of-range
+/// bit addresses wrap modulo `state_bits()` for the same reason.
+pub trait FaultableState {
+    /// Total number of addressable state bits.
+    fn state_bits(&self) -> u64;
+
+    /// Inverts one state bit. Addresses wrap modulo
+    /// [`state_bits`](Self::state_bits).
+    fn flip_state_bit(&mut self, bit: u64);
+}
+
+impl<F: FaultableState + ?Sized> FaultableState for Box<F> {
+    fn state_bits(&self) -> u64 {
+        (**self).state_bits()
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        (**self).flip_state_bit(bit);
+    }
+}
+
+/// A branch predictor whose state can be fault-injected. Blanket
+/// implemented; exists so callers can hold one trait object
+/// (`Box<dyn FaultablePredictor>`) giving both capabilities.
+pub trait FaultablePredictor: BranchPredictor + FaultableState {}
+
+impl<T: BranchPredictor + FaultableState> FaultablePredictor for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{baseline_bimodal_gshare, Bimodal, SatCounter};
+
+    #[test]
+    fn trait_object_combines_predict_and_flip() {
+        let mut p: Box<dyn FaultablePredictor> = Box::new(Bimodal::new(4));
+        let before = p.predict(0x40, 0);
+        assert_eq!(p.state_bits(), 2 * 16);
+        // Flip the MSB of the counter for pc 0x40 (index 16 >> 2 = 4... pc
+        // 0x40 >> 2 = 0x10 & 0xF = 0 → counter 0, bit 1 is its MSB).
+        p.flip_state_bit(1);
+        assert_ne!(p.predict(0x40, 0), before);
+    }
+
+    #[test]
+    fn sat_counter_flip_stays_in_range() {
+        for bits in 1..=7u8 {
+            let mut c = SatCounter::new(bits);
+            assert_eq!(c.state_bits(), u64::from(bits));
+            for b in 0..u64::from(bits) {
+                c.flip_state_bit(b);
+                assert!(c.value() <= c.max());
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_its_own_inverse() {
+        let mut p = baseline_bimodal_gshare();
+        let reference = baseline_bimodal_gshare();
+        let bits = p.state_bits();
+        for bit in [0, 1, bits / 2, bits - 1] {
+            p.flip_state_bit(bit);
+            p.flip_state_bit(bit);
+        }
+        for pc in (0..4096u64).step_by(4) {
+            assert_eq!(p.predict(pc, 0), reference.predict(pc, 0));
+        }
+    }
+
+    #[test]
+    fn out_of_range_addresses_wrap() {
+        let mut a = Bimodal::new(4);
+        let mut b = Bimodal::new(4);
+        a.flip_state_bit(3);
+        b.flip_state_bit(3 + a.state_bits());
+        for pc in (0..256u64).step_by(4) {
+            assert_eq!(a.predict(pc, 0), b.predict(pc, 0));
+        }
+    }
+}

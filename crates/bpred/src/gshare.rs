@@ -1,4 +1,5 @@
 use crate::counter::SatCounter;
+use crate::faultable::FaultableState;
 use crate::traits::BranchPredictor;
 
 /// McFarling's gshare predictor: 2-bit counters indexed by
@@ -36,10 +37,7 @@ impl Gshare {
     /// masked away, which is never what a caller wants).
     #[must_use]
     pub fn new(index_bits: u32, hist_bits: u32) -> Self {
-        assert!(
-            (1..=28).contains(&index_bits),
-            "index bits must be 1..=28"
-        );
+        assert!((1..=28).contains(&index_bits), "index bits must be 1..=28");
         assert!(
             hist_bits <= index_bits,
             "history bits must not exceed index bits"
@@ -80,6 +78,17 @@ impl BranchPredictor for Gshare {
 
     fn storage_bits(&self) -> u64 {
         2 * self.table.len() as u64
+    }
+}
+
+impl FaultableState for Gshare {
+    fn state_bits(&self) -> u64 {
+        2 * self.table.len() as u64
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let bit = bit % self.state_bits();
+        self.table[(bit / 2) as usize].flip_state_bit(bit % 2);
     }
 }
 

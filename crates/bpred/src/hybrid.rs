@@ -1,4 +1,5 @@
 use crate::counter::SatCounter;
+use crate::faultable::FaultableState;
 use crate::traits::BranchPredictor;
 
 /// McFarling combining predictor: two component predictors plus a
@@ -38,10 +39,7 @@ impl<A: BranchPredictor, B: BranchPredictor> Hybrid<A, B> {
     /// Panics if `meta_bits` is 0 or greater than 28.
     #[must_use]
     pub fn new(a: A, b: B, meta_bits: u32) -> Self {
-        assert!(
-            (1..=28).contains(&meta_bits),
-            "meta bits must be 1..=28"
-        );
+        assert!((1..=28).contains(&meta_bits), "meta bits must be 1..=28");
         Self {
             a,
             b,
@@ -99,6 +97,29 @@ impl<A: BranchPredictor, B: BranchPredictor> BranchPredictor for Hybrid<A, B> {
     }
 }
 
+impl<A: FaultableState, B: FaultableState> FaultableState for Hybrid<A, B> {
+    fn state_bits(&self) -> u64 {
+        self.a.state_bits() + self.b.state_bits() + 2 * self.meta.len() as u64
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        // Address space: component a, then component b, then the meta
+        // table — mirroring the storage_bits accounting.
+        let mut bit = bit % self.state_bits();
+        if bit < self.a.state_bits() {
+            self.a.flip_state_bit(bit);
+            return;
+        }
+        bit -= self.a.state_bits();
+        if bit < self.b.state_bits() {
+            self.b.flip_state_bit(bit);
+            return;
+        }
+        bit -= self.b.state_bits();
+        self.meta[(bit / 2) as usize].flip_state_bit(bit % 2);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,7 +137,10 @@ mod tests {
         }
         assert!(p.predict(0x40, 1));
         assert!(!p.predict(0x40, 0));
-        assert!(p.meta[p.meta_index(0x40)].msb(), "meta should choose gshare");
+        assert!(
+            p.meta[p.meta_index(0x40)].msb(),
+            "meta should choose gshare"
+        );
     }
 
     #[test]

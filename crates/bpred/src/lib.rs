@@ -43,6 +43,7 @@
 
 mod bimodal;
 mod counter;
+mod faultable;
 mod gshare;
 mod history;
 mod hybrid;
@@ -53,11 +54,12 @@ mod traits;
 
 pub use bimodal::Bimodal;
 pub use counter::{ResettingCounter, SatCounter};
+pub use faultable::{FaultablePredictor, FaultableState};
 pub use gshare::Gshare;
 pub use history::GlobalHistory;
 pub use hybrid::Hybrid;
 pub use pas::PasPredictor;
-pub use perceptron::{perceptron_theta, PerceptronPredictor};
+pub use perceptron::{flip_weight_bit, perceptron_theta, PerceptronPredictor};
 pub use tage::Tage;
 pub use traits::BranchPredictor;
 

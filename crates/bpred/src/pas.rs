@@ -1,4 +1,5 @@
 use crate::counter::SatCounter;
+use crate::faultable::FaultableState;
 use crate::traits::BranchPredictor;
 use std::cell::Cell;
 
@@ -110,6 +111,29 @@ impl BranchPredictor for PasPredictor {
     fn storage_bits(&self) -> u64 {
         self.local_hist.len() as u64 * u64::from(self.hist_bits)
             + 2 * self.pattern_table.len() as u64
+    }
+}
+
+impl FaultableState for PasPredictor {
+    fn state_bits(&self) -> u64 {
+        self.local_hist.len() as u64 * u64::from(self.hist_bits)
+            + 2 * self.pattern_table.len() as u64
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        // Address space: local history registers, then pattern table —
+        // mirroring the storage_bits accounting.
+        let mut bit = bit % self.state_bits();
+        let hist_region = self.local_hist.len() as u64 * u64::from(self.hist_bits);
+        if bit < hist_region {
+            let idx = (bit / u64::from(self.hist_bits)) as usize;
+            let b = (bit % u64::from(self.hist_bits)) as u16;
+            // Bits below hist_bits keep the register within its mask.
+            self.local_hist[idx] ^= 1 << b;
+            return;
+        }
+        bit -= hist_region;
+        self.pattern_table[(bit / 2) as usize].flip_state_bit(bit % 2);
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::faultable::FaultableState;
 use crate::traits::BranchPredictor;
 
 /// Jimenez–Lin training threshold: θ = ⌊1.93·h + 14⌋ for history
@@ -74,10 +75,7 @@ impl PerceptronPredictor {
     pub fn with_weight_bits(entries: u32, hist_len: u32, weight_bits: u32) -> Self {
         assert!(entries > 0, "need at least one perceptron");
         assert!((1..=64).contains(&hist_len), "history must be 1..=64");
-        assert!(
-            (2..=8).contains(&weight_bits),
-            "weight bits must be 2..=8"
-        );
+        assert!((2..=8).contains(&weight_bits), "weight bits must be 2..=8");
         let n = (hist_len + 1) as usize * entries as usize;
         Self {
             weights: vec![0; n],
@@ -150,6 +148,38 @@ impl BranchPredictor for PerceptronPredictor {
         // weight_max + 1 is a power of two = 2^(bits-1)
         let bits = (32 - (self.weight_max as u32 + 1).leading_zeros()) as u64;
         self.weights.len() as u64 * bits
+    }
+}
+
+/// Flips bit `b` of the `width`-bit two's-complement encoding of `w`.
+/// The result always lies in `[-2^(width-1), 2^(width-1) - 1]`, so a
+/// fault can never push a clamped weight out of its physical range.
+/// Shared by every perceptron-family [`FaultableState`] impl (here and
+/// in the confidence estimators).
+#[must_use]
+pub fn flip_weight_bit(w: i32, width: u32, b: u32) -> i32 {
+    let mask = (1i64 << width) - 1;
+    let raw = (i64::from(w) & mask) ^ (1i64 << b);
+    let value = if raw & (1i64 << (width - 1)) != 0 {
+        raw | !mask
+    } else {
+        raw
+    };
+    value as i32
+}
+
+impl FaultableState for PerceptronPredictor {
+    fn state_bits(&self) -> u64 {
+        let bits = u64::from(32 - (self.weight_max as u32 + 1).leading_zeros());
+        self.weights.len() as u64 * bits
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let width = 32 - (self.weight_max as u32 + 1).leading_zeros();
+        let bit = bit % self.state_bits();
+        let idx = (bit / u64::from(width)) as usize;
+        let b = (bit % u64::from(width)) as u32;
+        self.weights[idx] = flip_weight_bit(self.weights[idx], width, b);
     }
 }
 

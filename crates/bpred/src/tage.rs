@@ -1,4 +1,5 @@
 use crate::counter::SatCounter;
+use crate::faultable::FaultableState;
 use crate::traits::BranchPredictor;
 
 /// A TAGE branch predictor (Seznec & Michaud, "A case for (partially)
@@ -89,8 +90,8 @@ impl TaggedTable {
 
     fn index(&self, pc: u64, hist: u64) -> usize {
         let folded = self.fold(hist, self.index_bits);
-        (((pc >> 2) ^ (pc >> (2 + self.index_bits as u64)) ^ folded)
-            & ((1 << self.index_bits) - 1)) as usize
+        (((pc >> 2) ^ (pc >> (2 + self.index_bits as u64)) ^ folded) & ((1 << self.index_bits) - 1))
+            as usize
     }
 
     fn tag(&self, pc: u64, hist: u64) -> u16 {
@@ -135,8 +136,7 @@ impl Tage {
         let ratio = if n_tables == 1 {
             1.0
         } else {
-            (f64::from(max_hist) / f64::from(min_hist))
-                .powf(1.0 / f64::from(n_tables - 1))
+            (f64::from(max_hist) / f64::from(min_hist)).powf(1.0 / f64::from(n_tables - 1))
         };
         let tables = (0..n_tables)
             .map(|i| {
@@ -304,6 +304,48 @@ impl BranchPredictor for Tage {
             .map(|t| t.entries.len() as u64 * (u64::from(t.tag_bits) + 3 + 2))
             .sum();
         base + tagged
+    }
+}
+
+impl FaultableState for Tage {
+    fn state_bits(&self) -> u64 {
+        // Matches the storage_bits accounting: base counters, then per
+        // tagged entry its tag, 3-bit ctr and 2-bit useful counter.
+        let base = 2 * self.base.len() as u64;
+        let tagged: u64 = self
+            .tables
+            .iter()
+            .map(|t| t.entries.len() as u64 * (u64::from(t.tag_bits) + 3 + 2))
+            .sum();
+        base + tagged
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let mut bit = bit % self.state_bits();
+        let base_region = 2 * self.base.len() as u64;
+        if bit < base_region {
+            self.base[(bit / 2) as usize].flip_state_bit(bit % 2);
+            return;
+        }
+        bit -= base_region;
+        for t in &mut self.tables {
+            let entry_bits = u64::from(t.tag_bits) + 3 + 2;
+            let region = t.entries.len() as u64 * entry_bits;
+            if bit >= region {
+                bit -= region;
+                continue;
+            }
+            let e = &mut t.entries[(bit / entry_bits) as usize];
+            let b = bit % entry_bits;
+            if b < u64::from(t.tag_bits) {
+                e.tag ^= 1 << b as u16;
+            } else if b < u64::from(t.tag_bits) + 3 {
+                e.ctr.flip_state_bit(b - u64::from(t.tag_bits));
+            } else {
+                e.useful.flip_state_bit(b - u64::from(t.tag_bits) - 3);
+            }
+            return;
+        }
     }
 }
 

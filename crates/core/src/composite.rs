@@ -111,6 +111,28 @@ impl<A: ConfidenceEstimator, B: ConfidenceEstimator> ConfidenceEstimator for Com
     }
 }
 
+impl<A, B> perconf_bpred::FaultableState for CompositeCe<A, B>
+where
+    A: perconf_bpred::FaultableState,
+    B: perconf_bpred::FaultableState,
+{
+    fn state_bits(&self) -> u64 {
+        self.a.state_bits() + self.b.state_bits()
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        if self.state_bits() == 0 {
+            return;
+        }
+        let bit = bit % self.state_bits();
+        if bit < self.a.state_bits() {
+            self.a.flip_state_bit(bit);
+        } else {
+            self.b.flip_state_bit(bit - self.a.state_bits());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

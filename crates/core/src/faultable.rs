@@ -1,0 +1,72 @@
+use crate::estimate::ConfidenceEstimator;
+use perconf_bpred::FaultableState;
+
+/// A confidence estimator whose state can be fault-injected. Blanket
+/// implemented; exists so callers can hold one trait object
+/// (`Box<dyn FaultableEstimator>`) giving both capabilities.
+pub trait FaultableEstimator: ConfidenceEstimator + FaultableState {}
+
+impl<T: ConfidenceEstimator + FaultableState> FaultableEstimator for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        AlwaysHigh, EstimateCtx, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
+    };
+
+    fn ctx() -> EstimateCtx {
+        EstimateCtx {
+            pc: 0x40,
+            history: 0b1011,
+            predicted_taken: true,
+        }
+    }
+
+    #[test]
+    fn trait_object_combines_estimate_and_flip() {
+        let mut ce: Box<dyn FaultableEstimator> =
+            Box::new(PerceptronCe::new(PerceptronCeConfig::default()));
+        // pc 0 maps to perceptron 0, whose bias weight holds bit 6.
+        let c = EstimateCtx { pc: 0, ..ctx() };
+        let before = ce.estimate(&c).raw;
+        ce.flip_state_bit(6);
+        assert_ne!(ce.estimate(&c).raw, before);
+    }
+
+    #[test]
+    fn estimator_state_bits_match_storage_bits() {
+        let p = PerceptronCe::new(PerceptronCeConfig::default());
+        assert_eq!(p.state_bits(), p.storage_bits());
+        let j = JrsEstimator::new(JrsConfig::default());
+        assert_eq!(j.state_bits(), j.storage_bits());
+    }
+
+    #[test]
+    fn stateless_estimator_ignores_flips() {
+        let mut ce = AlwaysHigh;
+        assert_eq!(ce.state_bits(), 0);
+        ce.flip_state_bit(0); // must not panic (modulo-zero guard)
+        assert!(!ce.estimate(&ctx()).is_low());
+    }
+
+    #[test]
+    fn jrs_flip_perturbs_only_one_entry() {
+        let mut j = JrsEstimator::new(JrsConfig::default());
+        let reference = JrsEstimator::new(JrsConfig::default());
+        j.flip_state_bit(0);
+        let mut diffs = 0;
+        for pc in (0..64 * 1024u64).step_by(4) {
+            let c = EstimateCtx {
+                pc,
+                history: 0,
+                predicted_taken: true,
+            };
+            if j.estimate(&c).raw != reference.estimate(&c).raw {
+                diffs += 1;
+            }
+        }
+        // One flipped counter maps to a bounded set of aliased contexts.
+        assert!(diffs >= 1, "flip had no observable effect");
+    }
+}

@@ -1,5 +1,5 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::{ResettingCounter, SatCounter};
+use perconf_bpred::{FaultableState, ResettingCounter, SatCounter};
 use serde::{Deserialize, Serialize};
 
 /// How a JRS table entry reacts to a misprediction.
@@ -135,6 +135,26 @@ impl JrsEstimator {
             h = (h << 1) | u64::from(ctx.predicted_taken);
         }
         (((ctx.pc >> 2) ^ h) & mask) as usize
+    }
+}
+
+impl FaultableState for JrsEstimator {
+    fn state_bits(&self) -> u64 {
+        let n = match &self.table {
+            CounterTable::Resetting(t) => t.len(),
+            CounterTable::Saturating(t) => t.len(),
+        };
+        n as u64 * u64::from(self.cfg.counter_bits)
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let bit = bit % self.state_bits();
+        let w = u64::from(self.cfg.counter_bits);
+        let (idx, b) = ((bit / w) as usize, bit % w);
+        match &mut self.table {
+            CounterTable::Resetting(t) => t[idx].flip_state_bit(b),
+            CounterTable::Saturating(t) => t[idx].flip_state_bit(b),
+        }
     }
 }
 

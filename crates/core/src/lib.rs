@@ -52,6 +52,7 @@
 mod composite;
 mod controller;
 mod estimate;
+mod faultable;
 mod gating;
 mod jrs;
 mod perceptron_ce;
@@ -62,6 +63,7 @@ mod tyson;
 pub use composite::{CombineRule, CompositeCe};
 pub use controller::{BranchDecision, SpeculationController, TrainOutcome};
 pub use estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
+pub use faultable::FaultableEstimator;
 pub use gating::GateCounter;
 pub use jrs::{JrsConfig, JrsEstimator, MissPolicy};
 pub use perceptron_ce::{PerceptronCe, PerceptronCeConfig};
@@ -74,6 +76,14 @@ pub use tyson::TysonCe;
 /// in experiments and tests.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AlwaysHigh;
+
+impl perconf_bpred::FaultableState for AlwaysHigh {
+    fn state_bits(&self) -> u64 {
+        0
+    }
+
+    fn flip_state_bit(&mut self, _bit: u64) {}
+}
 
 impl ConfidenceEstimator for AlwaysHigh {
     fn estimate(&self, _ctx: &EstimateCtx) -> Estimate {

@@ -1,4 +1,5 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
+use perconf_bpred::{flip_weight_bit, FaultableState};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the paper's perceptron confidence estimator.
@@ -191,6 +192,20 @@ impl PerceptronCe {
         } else {
             ConfidenceClass::High
         }
+    }
+}
+
+impl FaultableState for PerceptronCe {
+    fn state_bits(&self) -> u64 {
+        self.weights.len() as u64 * u64::from(self.cfg.weight_bits)
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let w = u64::from(self.cfg.weight_bits);
+        let bit = bit % self.state_bits();
+        let idx = (bit / w) as usize;
+        self.weights[idx] =
+            flip_weight_bit(self.weights[idx], self.cfg.weight_bits, (bit % w) as u32);
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::SatCounter;
+use perconf_bpred::{FaultableState, SatCounter};
 
 /// Smith's counter-based confidence scheme (1981, as evaluated by
 /// Grunwald et al.): a branch is high confidence only when its
@@ -41,10 +41,7 @@ impl SmithCe {
     /// outside `1..=7`.
     #[must_use]
     pub fn new(index_bits: u32, counter_bits: u8) -> Self {
-        assert!(
-            (1..=26).contains(&index_bits),
-            "index bits must be 1..=26"
-        );
+        assert!((1..=26).contains(&index_bits), "index bits must be 1..=26");
         Self {
             table: vec![SatCounter::new(counter_bits); 1 << index_bits],
             index_bits,
@@ -54,6 +51,18 @@ impl SmithCe {
 
     fn index(&self, pc: u64) -> usize {
         ((pc >> 2) & ((1 << self.index_bits) - 1)) as usize
+    }
+}
+
+impl FaultableState for SmithCe {
+    fn state_bits(&self) -> u64 {
+        self.table.len() as u64 * u64::from(self.counter_bits)
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let bit = bit % self.state_bits();
+        let w = u64::from(self.counter_bits);
+        self.table[(bit / w) as usize].flip_state_bit(bit % w);
     }
 }
 

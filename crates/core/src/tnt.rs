@@ -1,5 +1,5 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::{BranchPredictor, PerceptronPredictor};
+use perconf_bpred::{BranchPredictor, FaultableState, PerceptronPredictor};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of [`PerceptronTnt`].
@@ -80,6 +80,16 @@ impl PerceptronTnt {
     #[must_use]
     pub fn output(&self, pc: u64, hist: u64) -> i32 {
         self.predictor.output(pc, hist)
+    }
+}
+
+impl FaultableState for PerceptronTnt {
+    fn state_bits(&self) -> u64 {
+        self.predictor.state_bits()
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        self.predictor.flip_state_bit(bit);
     }
 }
 

@@ -39,10 +39,7 @@ impl TysonCe {
     /// outside `2..=16`.
     #[must_use]
     pub fn new(index_bits: u32, hist_bits: u32) -> Self {
-        assert!(
-            (1..=20).contains(&index_bits),
-            "index bits must be 1..=20"
-        );
+        assert!((1..=20).contains(&index_bits), "index bits must be 1..=20");
         assert!(
             (2..=16).contains(&hist_bits),
             "local history bits must be 2..=16"
@@ -95,6 +92,19 @@ impl ConfidenceEstimator for TysonCe {
 
     fn storage_bits(&self) -> u64 {
         self.local_hist.len() as u64 * u64::from(self.hist_bits)
+    }
+}
+
+impl perconf_bpred::FaultableState for TysonCe {
+    fn state_bits(&self) -> u64 {
+        self.local_hist.len() as u64 * u64::from(self.hist_bits)
+    }
+
+    fn flip_state_bit(&mut self, bit: u64) {
+        let bit = bit % self.state_bits();
+        let w = u64::from(self.hist_bits);
+        // Bits below hist_bits keep the register within its mask.
+        self.local_hist[(bit / w) as usize] ^= 1 << (bit % w) as u16;
     }
 }
 

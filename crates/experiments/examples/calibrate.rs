@@ -7,7 +7,10 @@ use perconf_bpred::{baseline_bimodal_gshare, BranchPredictor};
 use perconf_workload::{spec2000, WorkloadGenerator};
 
 fn main() {
-    println!("{:<10} {:>8} {:>8} {:>6}", "bench", "mpku", "target", "ratio");
+    println!(
+        "{:<10} {:>8} {:>8} {:>6}",
+        "bench", "mpku", "target", "ratio"
+    );
     for cfg in spec2000() {
         let mut g = WorkloadGenerator::new(&cfg);
         let mut p = baseline_bimodal_gshare();

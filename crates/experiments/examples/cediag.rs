@@ -4,17 +4,26 @@
 //! co-calibration (see DESIGN.md §7).
 
 use perconf_bpred::BranchPredictor;
-use perconf_core::{ConfidenceEstimator, EstimateCtx, PerceptronCe, PerceptronCeConfig, JrsEstimator, JrsConfig};
+use perconf_core::{
+    ConfidenceEstimator, EstimateCtx, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
+};
 use perconf_workload::{BehaviorClass, WorkloadGenerator};
 
 fn main() {
     for lam in [25i32, -50] {
         let cfg = perconf_workload::spec2000_config("vpr").unwrap();
         let mut g = WorkloadGenerator::new(&cfg);
-        let classes: Vec<BehaviorClass> = g.program().sites.iter().map(|s| s.spec.class()).collect();
+        let classes: Vec<BehaviorClass> =
+            g.program().sites.iter().map(|s| s.spec.class()).collect();
         let mut p = perconf_bpred::baseline_bimodal_gshare();
-        let mut ce = PerceptronCe::new(PerceptronCeConfig { lambda: lam, ..Default::default() });
-        let mut jrs = JrsEstimator::new(JrsConfig { lambda: 15, ..Default::default() });
+        let mut ce = PerceptronCe::new(PerceptronCeConfig {
+            lambda: lam,
+            ..Default::default()
+        });
+        let mut jrs = JrsEstimator::new(JrsConfig {
+            lambda: 15,
+            ..Default::default()
+        });
         let mut hist = 0u64;
         // per class: [miss_low, miss_high, corr_low, corr_high] for CE; same for JRS
         let mut q = [[0u64; 4]; 8];
@@ -25,15 +34,29 @@ fn main() {
             let Some(b) = u.branch else { continue };
             n += 1;
             let pred = p.predict(b.pc, hist);
-            let ctx = EstimateCtx { pc: b.pc, history: hist, predicted_taken: pred };
+            let ctx = EstimateCtx {
+                pc: b.pc,
+                history: hist,
+                predicted_taken: pred,
+            };
             let est = ce.estimate(&ctx);
             let ej = jrs.estimate(&ctx);
             let miss = pred != b.taken;
             if n > 300_000 {
                 let c = classes[b.site as usize] as usize;
-                let i = match (miss, est.is_low()) { (true, true) => 0, (true, false) => 1, (false, true) => 2, (false, false) => 3 };
+                let i = match (miss, est.is_low()) {
+                    (true, true) => 0,
+                    (true, false) => 1,
+                    (false, true) => 2,
+                    (false, false) => 3,
+                };
                 q[c][i] += 1;
-                let i = match (miss, ej.is_low()) { (true, true) => 0, (true, false) => 1, (false, true) => 2, (false, false) => 3 };
+                let i = match (miss, ej.is_low()) {
+                    (true, true) => 0,
+                    (true, false) => 1,
+                    (false, true) => 2,
+                    (false, false) => 3,
+                };
                 qj[c][i] += 1;
             }
             p.train(b.pc, hist, b.taken);
@@ -41,17 +64,21 @@ fn main() {
             jrs.train(&ctx, ej, miss);
             hist = (hist << 1) | u64::from(b.taken);
         }
-        let names = ["Biased", "Loop", "Linear", "Xor", "Random", "Phased", "LongHist", "Periodic"];
+        let names = [
+            "Biased", "Loop", "Linear", "Xor", "Random", "Phased", "LongHist", "Periodic",
+        ];
         println!("--- perceptron λ={lam} (and JRS λ15 for reference)");
         for c in 0..8 {
             let t: u64 = q[c].iter().sum();
-            if t == 0 { continue; }
-            let miss_rate = (q[c][0]+q[c][1]) as f64 / t as f64;
-            let spec = q[c][0] as f64 / (q[c][0]+q[c][1]).max(1) as f64;
-            let flags = q[c][0]+q[c][2];
+            if t == 0 {
+                continue;
+            }
+            let miss_rate = (q[c][0] + q[c][1]) as f64 / t as f64;
+            let spec = q[c][0] as f64 / (q[c][0] + q[c][1]).max(1) as f64;
+            let flags = q[c][0] + q[c][2];
             let pvn = q[c][0] as f64 / flags.max(1) as f64;
-            let specj = qj[c][0] as f64 / (qj[c][0]+qj[c][1]).max(1) as f64;
-            let flagsj = qj[c][0]+qj[c][2];
+            let specj = qj[c][0] as f64 / (qj[c][0] + qj[c][1]).max(1) as f64;
+            let flagsj = qj[c][0] + qj[c][2];
             let pvnj = qj[c][0] as f64 / flagsj.max(1) as f64;
             println!("{:<9} share={:.2} miss={:.3} | CE spec={:.2} pvn={:.2} flags={} | JRS spec={:.2} pvn={:.2}",
                 names[c], t as f64/500_000.0, miss_rate, spec, pvn, flags, specj, pvnj);

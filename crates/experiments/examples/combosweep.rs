@@ -34,9 +34,14 @@ fn main() {
         let bad: u64 = per.iter().map(|(_, v)| v.reversals_bad).sum();
         println!(
             "rev={:?} λ={} PL{}: U(exec)={:+.1}% U(fetch)={:+.1}% P={:+.1}% rev {}:{}",
-            rev, lam, pl,
-            mean.u_executed * 100.0, mean.u_fetched * 100.0, mean.perf_loss * 100.0,
-            good, bad
+            rev,
+            lam,
+            pl,
+            mean.u_executed * 100.0,
+            mean.u_fetched * 100.0,
+            mean.perf_loss * 100.0,
+            good,
+            bad
         );
     }
 }

@@ -6,7 +6,10 @@
 use perconf_pipeline::{PipelineConfig, Simulation};
 
 fn main() {
-    for (name, cfg) in [("shallow", PipelineConfig::shallow()), ("deep", PipelineConfig::deep())] {
+    for (name, cfg) in [
+        ("shallow", PipelineConfig::shallow()),
+        ("deep", PipelineConfig::deep()),
+    ] {
         let wl = perconf_workload::spec2000_config("vpr").unwrap();
         let mut sim = Simulation::with_defaults(cfg, &wl);
         sim.warmup(50_000);
@@ -18,14 +21,25 @@ fn main() {
             s.resolution_delay_sum as f64 / s.squashes as f64,
             s.rob_occupancy_sum as f64 / s.cycles as f64);
         let c = s.cycles as f64;
-        println!("  stalls: empty={:.2} deps={:.2} fu={:.2} load={:.2} exec={:.2}",
-            s.stall_empty as f64 / c, s.stall_deps as f64 / c, s.stall_fu as f64 / c,
-            s.stall_load as f64 / c, s.stall_exec as f64 / c);
+        println!(
+            "  stalls: empty={:.2} deps={:.2} fu={:.2} load={:.2} exec={:.2}",
+            s.stall_empty as f64 / c,
+            s.stall_deps as f64 / c,
+            s.stall_fu as f64 / c,
+            s.stall_load as f64 / c,
+            s.stall_exec as f64 / c
+        );
         let l1 = sim.mem().l1();
         let l2 = sim.mem().l2();
-        println!("  l1: {}/{} ({:.3} miss)  l2: {}/{} ({:.3} miss)",
-            l1.hits(), l1.misses(), l1.misses() as f64 / (l1.hits()+l1.misses()) as f64,
-            l2.hits(), l2.misses(), l2.misses() as f64 / (l2.hits()+l2.misses()).max(1) as f64);
+        println!(
+            "  l1: {}/{} ({:.3} miss)  l2: {}/{} ({:.3} miss)",
+            l1.hits(),
+            l1.misses(),
+            l1.misses() as f64 / (l1.hits() + l1.misses()) as f64,
+            l2.hits(),
+            l2.misses(),
+            l2.misses() as f64 / (l2.hits() + l2.misses()).max(1) as f64
+        );
     }
 }
 // (extended below by re-write)

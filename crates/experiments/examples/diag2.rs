@@ -9,7 +9,8 @@ fn main() {
     for name in ["vpr", "gcc", "mcf", "vortex"] {
         let cfg = perconf_workload::spec2000_config(name).unwrap();
         let mut g = WorkloadGenerator::new(&cfg);
-        let classes: Vec<BehaviorClass> = g.program().sites.iter().map(|s| s.spec.class()).collect();
+        let classes: Vec<BehaviorClass> =
+            g.program().sites.iter().map(|s| s.spec.class()).collect();
         let mut p = baseline_bimodal_gshare();
         let mut hist = 0u64;
         let mut miss = [0u64; 5];
@@ -39,10 +40,18 @@ fn main() {
             }
         }
         let names = ["Biased", "Loop", "Linear", "Xor", "Random"];
-        print!("{name}: late_rate={:.3} ", misses_late as f64 / late_branches as f64);
+        print!(
+            "{name}: late_rate={:.3} ",
+            misses_late as f64 / late_branches as f64
+        );
         for i in 0..5 {
             if tot[i] > 0 {
-                print!("{}={:.3}({:.2}) ", names[i], miss[i] as f64 / tot[i] as f64, tot[i] as f64 / branches as f64);
+                print!(
+                    "{}={:.3}({:.2}) ",
+                    names[i],
+                    miss[i] as f64 / tot[i] as f64,
+                    tot[i] as f64 / branches as f64
+                );
             }
         }
         println!();

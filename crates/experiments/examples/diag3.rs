@@ -31,14 +31,18 @@ fn main() {
                 if branches > 300_000 && pred != b.taken {
                     lin_miss += 1;
                 }
-                if b.taken { e.0 += 1 } else { e.1 += 1 }
+                if b.taken {
+                    e.0 += 1
+                } else {
+                    e.1 += 1
+                }
                 lin_patterns.entry(b.site).or_default().insert(h9);
             }
             hist = (hist << 1) | u64::from(b.taken);
         }
     }
-    let avg_patterns: f64 = lin_patterns.values().map(|s| s.len() as f64).sum::<f64>()
-        / lin_patterns.len() as f64;
+    let avg_patterns: f64 =
+        lin_patterns.values().map(|s| s.len() as f64).sum::<f64>() / lin_patterns.len() as f64;
     println!(
         "linear sites: oracle-late miss={:.3} avg distinct hist9 per site={:.0} total pairs={}",
         lin_miss as f64 / (lin_tot as f64 / 2.0),

@@ -22,7 +22,13 @@ fn main() {
                 a
             } else {
                 let r: f64 = rng.gen();
-                let region = if r < 0.675 { 8 * 1024 } else if r < 0.9 { 32 * 1024 } else { ws };
+                let region = if r < 0.675 {
+                    8 * 1024
+                } else if r < 0.9 {
+                    32 * 1024
+                } else {
+                    ws
+                };
                 rng.gen_range(0..region / 8) * 8
             };
             let lat = h.load(addr);
@@ -34,5 +40,9 @@ fn main() {
             }
         }
     }
-    println!("miss rate: {:.3}  l2 misses: {}", miss as f64 / total as f64, h.l2().misses());
+    println!(
+        "miss rate: {:.3}  l2 misses: {}",
+        miss as f64 / total as f64,
+        h.l2().misses()
+    );
 }

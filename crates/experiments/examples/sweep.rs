@@ -2,7 +2,9 @@
 //! training threshold `T`, aggregate PVN/Spec across all benchmarks.
 //! This sweep set the `train_threshold: 75` default.
 
-use perconf_core::{ConfidenceEstimator, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig};
+use perconf_core::{
+    ConfidenceEstimator, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
+};
 use perconf_experiments::common::{benchmarks, trace_eval, PredictorKind, Scale};
 use perconf_metrics::ConfusionMatrix;
 
@@ -11,7 +13,14 @@ fn eval(mk: &dyn Fn() -> Box<dyn ConfidenceEstimator>, s: Scale) -> ConfusionMat
     for wl in benchmarks() {
         let mut p = PredictorKind::BimodalGshare.build();
         let mut ce = mk();
-        let (cm, _) = trace_eval(&wl, p.as_mut(), ce.as_mut(), s.warmup_branches, s.run_branches, None);
+        let (cm, _) = trace_eval(
+            &wl,
+            p.as_mut(),
+            ce.as_mut(),
+            s.warmup_branches,
+            s.run_branches,
+            None,
+        );
         total.merge(&cm);
     }
     total
@@ -21,14 +30,40 @@ fn main() {
     let s = Scale::quick();
     for hb in [6u32, 8, 10, 13] {
         for lam in [7u8, 15] {
-            let cm = eval(&|| Box::new(JrsEstimator::new(JrsConfig { hist_bits: hb, lambda: lam, ..JrsConfig::default() })), s);
-            println!("JRS h{hb} λ{lam}: PVN={:.0} Spec={:.0}", cm.pvn()*100.0, cm.spec()*100.0);
+            let cm = eval(
+                &|| {
+                    Box::new(JrsEstimator::new(JrsConfig {
+                        hist_bits: hb,
+                        lambda: lam,
+                        ..JrsConfig::default()
+                    }))
+                },
+                s,
+            );
+            println!(
+                "JRS h{hb} λ{lam}: PVN={:.0} Spec={:.0}",
+                cm.pvn() * 100.0,
+                cm.spec() * 100.0
+            );
         }
     }
     for t in [14i32, 40, 75, 150] {
         for lam in [25i32, -50] {
-            let cm = eval(&|| Box::new(PerceptronCe::new(PerceptronCeConfig { lambda: lam, train_threshold: t, ..PerceptronCeConfig::default() })), s);
-            println!("PERC T{t} λ{lam}: PVN={:.0} Spec={:.0}", cm.pvn()*100.0, cm.spec()*100.0);
+            let cm = eval(
+                &|| {
+                    Box::new(PerceptronCe::new(PerceptronCeConfig {
+                        lambda: lam,
+                        train_threshold: t,
+                        ..PerceptronCeConfig::default()
+                    }))
+                },
+                s,
+            );
+            println!(
+                "PERC T{t} λ{lam}: PVN={:.0} Spec={:.0}",
+                cm.pvn() * 100.0,
+                cm.spec() * 100.0
+            );
         }
     }
 }

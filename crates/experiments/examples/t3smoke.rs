@@ -5,5 +5,8 @@ use perconf_experiments::{table3, Scale};
 fn main() {
     let t = table3::run(Scale::quick());
     println!("{}", t.render());
-    println!("perceptron PVN dominates JRS: {}", t.perceptron_pvn_dominates());
+    println!(
+        "perceptron PVN dominates JRS: {}",
+        t.perceptron_pvn_dominates()
+    );
 }

@@ -2,12 +2,21 @@
 //!
 //! ```text
 //! repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]
+//!                    [--resume <dir>] [--seed <u64>]
 //!
 //! experiments: table2 table3 table4 table5 table6
-//!              fig4 fig5 fig6 fig7 fig8 fig9 latency all
+//!              fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults all
 //! ```
+//!
+//! `--resume <dir>` checkpoints every sweep cell into `<dir>` and, on
+//! a rerun, loads finished cells instead of recomputing them — only
+//! failed or missing cells execute. `--seed` sets the fault-injection
+//! campaign seed (default 42).
 
-use perconf_experiments::{energy, fig89, figs, latency, table2, table3, table4, table5, table6, Scale};
+use perconf_experiments::runner::{Runner, RunnerConfig};
+use perconf_experiments::{
+    energy, faults, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,6 +25,8 @@ struct Args {
     scale: Scale,
     json_dir: Option<PathBuf>,
     csv_dir: Option<PathBuf>,
+    resume_dir: Option<PathBuf>,
+    seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,18 +34,30 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::quick();
     let mut json_dir = None;
     let mut csv_dir = None;
+    let mut resume_dir = None;
+    let mut seed = 42;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => scale = Scale::full(),
             "--tiny" => scale = Scale::tiny(),
             "--json" => {
-                json_dir = Some(PathBuf::from(
-                    it.next().ok_or("--json needs a directory")?,
-                ));
+                json_dir = Some(PathBuf::from(it.next().ok_or("--json needs a directory")?));
             }
             "--csv" => {
                 csv_dir = Some(PathBuf::from(it.next().ok_or("--csv needs a directory")?));
+            }
+            "--resume" => {
+                resume_dir = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a directory")?,
+                ));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--help" | "-h" => {
                 return Err(String::new());
@@ -50,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         scale,
         json_dir,
         csv_dir,
+        resume_dir,
+        seed,
     })
 }
 
@@ -171,14 +196,40 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
             println!("gating saves energy: {}", e.gating_saves_energy());
             save_json(&args.json_dir, "energy", &e);
         }
+        "faults" => {
+            let mut runner = match &args.resume_dir {
+                Some(dir) => Runner::new(RunnerConfig::resuming(dir)),
+                None => Runner::in_memory(),
+            };
+            let t = faults::run(scale, args.seed, &mut runner);
+            println!("{}", t.render());
+            println!(
+                "faults degrade metrics monotonically: {}",
+                t.degrades_monotonically()
+            );
+            eprintln!(
+                "[{} cells executed, {} resumed from checkpoints, {} failed]",
+                runner.cells_executed(),
+                runner.cells_resumed(),
+                runner.failures().len()
+            );
+            save_json(&args.json_dir, "faults", &t);
+            if !t.failed.is_empty() {
+                return Err(format!(
+                    "{} sweep cells failed: {}",
+                    t.failed.len(),
+                    t.failed.join(", ")
+                ));
+            }
+        }
         other => return Err(format!("unknown experiment: {other}")),
     }
     Ok(())
 }
 
-const ALL: [&str; 11] = [
+const ALL: [&str; 12] = [
     "table2", "table3", "table4", "table5", "table6", "fig4", "fig6", "fig8", "fig9", "latency",
-    "energy",
+    "energy", "faults",
 ];
 
 fn main() -> ExitCode {
@@ -189,8 +240,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]\n\
-                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy all"
+                "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>]\n\
+                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults all"
             );
             return ExitCode::FAILURE;
         }

@@ -94,7 +94,11 @@ fn build_predictor(name: &str) -> Result<Box<dyn BranchPredictor>, String> {
         "bimodal-gshare" => Box::new(baseline_bimodal_gshare()),
         "gshare-perceptron" => Box::new(gshare_perceptron()),
         "tage" => Box::new(tage_hybrid()),
-        other => return Err(format!("unknown predictor {other} (bimodal-gshare | gshare-perceptron | tage)")),
+        other => {
+            return Err(format!(
+                "unknown predictor {other} (bimodal-gshare | gshare-perceptron | tage)"
+            ))
+        }
     })
 }
 
@@ -151,7 +155,10 @@ fn report(stats: &SimStats, o: &Options) {
     f("branches retired", stats.branches_retired.to_string());
     f(
         "mispredicts (base / final)",
-        format!("{} / {}", stats.base_mispredicts, stats.speculated_mispredicts),
+        format!(
+            "{} / {}",
+            stats.base_mispredicts, stats.speculated_mispredicts
+        ),
     );
     f("MPKu", format!("{:.2}", stats.mpku()));
     f("squashes", stats.squashes.to_string());
@@ -163,8 +170,14 @@ fn report(stats: &SimStats, o: &Options) {
         );
     }
     if o.estimator != "none" {
-        f("estimator PVN", format!("{:.1}%", stats.confusion.pvn() * 100.0));
-        f("estimator Spec", format!("{:.1}%", stats.confusion.spec() * 100.0));
+        f(
+            "estimator PVN",
+            format!("{:.1}%", stats.confusion.pvn() * 100.0),
+        );
+        f(
+            "estimator Spec",
+            format!("{:.1}%", stats.confusion.spec() * 100.0),
+        );
     }
     if o.energy {
         let e = EnergyModel::default().evaluate(stats);

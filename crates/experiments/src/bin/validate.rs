@@ -7,7 +7,9 @@
 //! validate [--tiny | --full]
 //! ```
 
-use perconf_experiments::{energy, fig89, figs, latency, table2, table3, table4, table5, table6, Scale};
+use perconf_experiments::{
+    energy, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
+};
 use std::process::ExitCode;
 
 struct Checker {
@@ -35,11 +37,16 @@ fn main() -> ExitCode {
     // Table 2: waste grows with depth and width; mcf worst, in the
     // fetched metric.
     let t2 = table2::run(scale);
-    let avg = |i: usize| {
-        t2.rows.iter().map(|r| r.waste[i].fetched).sum::<f64>() / t2.rows.len() as f64
-    };
-    c.check("table2: deeper pipeline wastes more (fetched)", avg(2) > avg(0) * 1.2);
-    c.check("table2: wider pipeline wastes more (fetched)", avg(1) > avg(0) * 1.2);
+    let avg =
+        |i: usize| t2.rows.iter().map(|r| r.waste[i].fetched).sum::<f64>() / t2.rows.len() as f64;
+    c.check(
+        "table2: deeper pipeline wastes more (fetched)",
+        avg(2) > avg(0) * 1.2,
+    );
+    c.check(
+        "table2: wider pipeline wastes more (fetched)",
+        avg(1) > avg(0) * 1.2,
+    );
     let mcf = t2.rows.iter().find(|r| r.bench == "mcf").expect("mcf row");
     c.check(
         "table2: mcf is the worst benchmark",
@@ -50,7 +57,10 @@ fn main() -> ExitCode {
 
     // Table 3: the headline accuracy claim and all four monotone trends.
     let t3 = table3::run(scale);
-    c.check("table3: perceptron PVN beats JRS at every λ", t3.perceptron_pvn_dominates());
+    c.check(
+        "table3: perceptron PVN beats JRS at every λ",
+        t3.perceptron_pvn_dominates(),
+    );
     c.check(
         "table3: JRS coverage rises with λ",
         t3.jrs.windows(2).all(|w| w[1].spec >= w[0].spec),
@@ -88,7 +98,10 @@ fn main() -> ExitCode {
 
     // Table 6: narrow weights are the worst way to shrink.
     let t6 = table6::run(scale);
-    c.check("table6: 4-bit weights hurt most", t6.narrow_weights_hurt_most());
+    c.check(
+        "table6: 4-bit weights hurt most",
+        t6.narrow_weights_hurt_most(),
+    );
 
     // Figures 4–7: cic separates, tnt does not.
     let cic = figs::run(figs::Training::CorrectIncorrect, "gcc", scale);
@@ -105,7 +118,10 @@ fn main() -> ExitCode {
 
     // §5.4.2: estimator latency is cheap.
     let lat = latency::run(scale);
-    c.check("latency: 9-cycle estimator is cheap", lat.nine_cycles_is_cheap());
+    c.check(
+        "latency: 9-cycle estimator is cheap",
+        lat.nine_cycles_is_cheap(),
+    );
 
     // Figures 8–9: combined control at ~no loss; wide < deep.
     let f8 = fig89::run(fig89::Machine::Deep, scale);
@@ -124,7 +140,10 @@ fn main() -> ExitCode {
 
     // Extension: some gating point saves energy.
     let en = energy::run(scale);
-    c.check("energy: gating saves energy at some λ", en.gating_saves_energy());
+    c.check(
+        "energy: gating saves energy at some λ",
+        en.gating_saves_energy(),
+    );
 
     println!(
         "\n{} checks failed [{:.0}s elapsed]",

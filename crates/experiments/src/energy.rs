@@ -38,11 +38,7 @@ pub const LAMBDAS: [i32; 4] = [25, 0, -25, -50];
 #[must_use]
 pub fn run(scale: Scale) -> EnergyStudy {
     let model = EnergyModel::default();
-    let baselines = BaselineSet::build(
-        PredictorKind::BimodalGshare,
-        PipelineConfig::deep(),
-        scale,
-    );
+    let baselines = BaselineSet::build(PredictorKind::BimodalGshare, PipelineConfig::deep(), scale);
     let baseline_wasted: Vec<f64> = baselines
         .runs()
         .iter()

@@ -1,0 +1,457 @@
+//! Resilience sweep (extension): how gracefully do the paper's
+//! confidence estimators degrade under single-event upsets?
+//!
+//! For each (benchmark × estimator × fault-rate) cell, both the
+//! baseline predictor and the estimator are wrapped in seeded
+//! fault-injecting adapters ([`perconf_faults`]) and evaluated twice:
+//! at trace level for the confidence metrics (PVN, Spec coverage,
+//! misprediction rate) and through the gated pipeline for IPC. The
+//! zero-rate column uses the same wrappers at rate 0, which are
+//! bit-identical passthroughs — so it *is* the fault-free baseline.
+//!
+//! The two estimators fail differently. The perceptron CE holds ~4 KB
+//! of trained weights, and upsets drag its outputs toward zero: Spec
+//! creeps up, PVN collapses, spurious gating stalls the machine — a
+//! clean monotone degradation on every axis. The JRS counters are
+//! small and continuously re-trained, so persistent upsets mostly
+//! knock *zero* counters non-zero: low-confidence marks disappear,
+//! coverage collapses, and the machine actually speeds up because it
+//! stops gating — while silently losing the wasted-work reduction it
+//! was built for. [`FaultTable::degrades_monotonically`] encodes
+//! exactly that shape.
+//!
+//! Cells run through the [`Runner`](crate::runner::Runner): a panic or
+//! hang in one cell marks that cell failed and the sweep continues,
+//! and with `repro faults --resume <dir>` completed cells are loaded
+//! from checkpoints instead of recomputed.
+
+use crate::common::{run_pipeline, trace_eval, Scale};
+use crate::runner::Runner;
+use perconf_bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf_core::{
+    ConfidenceEstimator, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
+    SpeculationController,
+};
+use perconf_faults::{FaultConfig, FaultyEstimator, FaultyPredictor};
+use perconf_metrics::Table;
+use perconf_pipeline::PipelineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-access fault rates swept, decade-spaced. Rate 0 is the exact
+/// fault-free baseline; 1e-1 is far beyond any physical upset rate
+/// and anchors the heavily-degraded end of the curve.
+pub const RATES: [f64; 5] = [0.0, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Benchmarks in the sweep (a representative high/mid/low
+/// mispredictability subset keeps the grid affordable).
+pub const BENCHMARKS: [&str; 3] = ["mcf", "twolf", "gcc"];
+
+/// Estimators compared under fault injection.
+pub const ESTIMATORS: [&str; 2] = ["perceptron", "jrs"];
+
+/// One completed sweep cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Estimator name (`perceptron` or `jrs`).
+    pub estimator: String,
+    /// Per-access fault rate.
+    pub rate: f64,
+    /// Trace-level PVN (%) of the faulted estimator.
+    pub pvn: f64,
+    /// Trace-level Spec coverage (%) of the faulted estimator.
+    pub spec: f64,
+    /// Trace-level misprediction rate (%) of the faulted predictor.
+    pub miss_rate: f64,
+    /// Pipeline IPC with both structures faulted.
+    pub ipc: f64,
+    /// Faults injected into the predictor (trace + pipeline runs).
+    pub faults_predictor: u64,
+    /// Faults injected into the estimator (trace + pipeline runs).
+    pub faults_estimator: u64,
+}
+
+/// One rendered row: a (estimator, rate) point aggregated over the
+/// benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRow {
+    /// Estimator name.
+    pub estimator: String,
+    /// Per-access fault rate.
+    pub rate: f64,
+    /// Mean PVN (%).
+    pub pvn: f64,
+    /// Mean Spec coverage (%).
+    pub spec: f64,
+    /// Mean misprediction rate (%).
+    pub miss_rate: f64,
+    /// Mean fractional IPC loss vs the zero-rate cell (%).
+    pub ipc_loss: f64,
+}
+
+/// Full resilience-sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTable {
+    /// Campaign seed the per-cell fault plans derive from.
+    pub seed: u64,
+    /// Aggregated rows, grouped by estimator then rate.
+    pub rows: Vec<FaultRow>,
+    /// Every completed cell.
+    pub cells: Vec<FaultCell>,
+    /// Keys of cells that failed (panicked / hung / invariant).
+    pub failed: Vec<String>,
+}
+
+/// Deterministic per-cell seed: mixes the campaign seed with the cell
+/// coordinates so cells are independent but reproducible.
+fn cell_seed(seed: u64, bench: &str, estimator: &str, rate_idx: usize) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for b in bench.bytes().chain(estimator.bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h ^ (rate_idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
+fn estimator_by_name(name: &str) -> Box<dyn perconf_core::FaultableEstimator> {
+    match name {
+        "perceptron" => Box::new(PerceptronCe::new(PerceptronCeConfig::default())),
+        // λ=1 is the conservative gating point of Table 4: only
+        // branches with a recent miss gate, so spurious low-confidence
+        // marks from faults cost cycles instead of relaxing an already
+        // saturated gate (λ=7 marks ~77% low and inverts the effect).
+        "jrs" => Box::new(JrsEstimator::new(JrsConfig {
+            lambda: 1,
+            ..JrsConfig::default()
+        })),
+        other => panic!("unknown estimator {other}"),
+    }
+}
+
+/// Computes one sweep cell (exposed for the driver's tests).
+#[must_use]
+pub fn run_cell(bench: &str, estimator: &str, rate: f64, seed: u64, scale: Scale) -> FaultCell {
+    let wl = perconf_workload::spec2000_config(bench).expect("known benchmark");
+    // The predictor takes both persistent table upsets and transient
+    // history-latch strikes at the same rate; without the latter, big
+    // retrained tables absorb flips almost for free and the machine-
+    // level effect vanishes. The estimator takes table upsets only so
+    // its PVN/Spec shifts are attributable to its own state.
+    let cfg_p = FaultConfig {
+        rate,
+        history_rate: rate,
+        seed: seed ^ 0x11,
+    };
+    let cfg_e = FaultConfig::state_only(rate, seed ^ 0x22);
+
+    // Trace-level confidence metrics.
+    let mut p = FaultyPredictor::new(baseline_bimodal_gshare(), &cfg_p);
+    let mut e = FaultyEstimator::new(estimator_by_name(estimator), &cfg_e);
+    let (cm, _) = trace_eval(
+        &wl,
+        &mut p,
+        &mut e,
+        scale.warmup_branches,
+        scale.run_branches,
+        None,
+    );
+    // The pipeline controller consumes its wrappers, so the reported
+    // injection counts cover the trace-level pass only.
+    let faults_predictor = p.injected();
+    let faults_estimator = e.injected();
+
+    // Pipeline IPC with both structures faulted (gated deep machine,
+    // the configuration the estimator actually protects).
+    let ctl = SpeculationController::new(
+        Box::new(FaultyPredictor::new(baseline_bimodal_gshare(), &cfg_p))
+            as Box<dyn BranchPredictor>,
+        Box::new(FaultyEstimator::new(estimator_by_name(estimator), &cfg_e))
+            as Box<dyn ConfidenceEstimator>,
+    );
+    let stats = run_pipeline(&wl, PipelineConfig::deep().gated(1), ctl, scale);
+
+    FaultCell {
+        benchmark: bench.to_owned(),
+        estimator: estimator.to_owned(),
+        rate,
+        pvn: cm.pvn() * 100.0,
+        spec: cm.spec() * 100.0,
+        miss_rate: cm.misprediction_rate() * 100.0,
+        ipc: stats.ipc(),
+        faults_predictor,
+        faults_estimator,
+    }
+}
+
+/// Runs the resilience sweep, one [`Runner`] cell per
+/// (benchmark × estimator × rate) point.
+#[must_use]
+pub fn run(scale: Scale, seed: u64, runner: &mut Runner) -> FaultTable {
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    for est in ESTIMATORS {
+        for bench in BENCHMARKS {
+            for (ri, &rate) in RATES.iter().enumerate() {
+                // The campaign seed is part of the key so resuming
+                // with a different --seed recomputes instead of
+                // serving another campaign's checkpoints.
+                let key = format!("faults-s{seed}-{est}-{bench}-r{ri}");
+                let cs = cell_seed(seed, bench, est, ri);
+                let (b, e) = (bench.to_owned(), est.to_owned());
+                match runner.run_cell(&key, move || run_cell(&b, &e, rate, cs, scale)) {
+                    Ok(c) => cells.push(c),
+                    Err(_) => failed.push(key),
+                }
+            }
+        }
+    }
+    let rows = aggregate(&cells);
+    FaultTable {
+        seed,
+        rows,
+        cells,
+        failed,
+    }
+}
+
+/// Means per (estimator, rate) over whatever benchmarks completed;
+/// IPC loss is measured against the same benchmark's zero-rate cell.
+fn aggregate(cells: &[FaultCell]) -> Vec<FaultRow> {
+    let mut rows = Vec::new();
+    for est in ESTIMATORS {
+        for &rate in &RATES {
+            let in_point: Vec<&FaultCell> = cells
+                .iter()
+                .filter(|c| c.estimator == est && c.rate == rate)
+                .collect();
+            if in_point.is_empty() {
+                continue;
+            }
+            let mean = |f: &dyn Fn(&FaultCell) -> f64| {
+                in_point.iter().map(|c| f(c)).sum::<f64>() / in_point.len() as f64
+            };
+            let ipc_loss = {
+                let losses: Vec<f64> = in_point
+                    .iter()
+                    .filter_map(|c| {
+                        cells
+                            .iter()
+                            .find(|z| {
+                                z.estimator == est && z.benchmark == c.benchmark && z.rate == 0.0
+                            })
+                            .map(|z| 1.0 - c.ipc / z.ipc)
+                    })
+                    .collect();
+                if losses.is_empty() {
+                    0.0
+                } else {
+                    losses.iter().sum::<f64>() / losses.len() as f64
+                }
+            };
+            rows.push(FaultRow {
+                estimator: est.to_owned(),
+                rate,
+                pvn: mean(&|c| c.pvn),
+                spec: mean(&|c| c.spec),
+                miss_rate: mean(&|c| c.miss_rate),
+                ipc_loss: ipc_loss * 100.0,
+            });
+        }
+    }
+    rows
+}
+
+impl FaultTable {
+    /// Renders the resilience table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Resilience sweep (seed {}): confidence metrics and IPC vs per-access fault rate\n",
+            self.seed
+        );
+        let mut t =
+            Table::with_headers(&["estimator", "rate", "PVN%", "Spec%", "miss%", "IPC loss%"]);
+        t.numeric();
+        for r in &self.rows {
+            t.row(vec![
+                r.estimator.clone(),
+                format!("{:.0e}", r.rate),
+                format!("{:.1}", r.pvn),
+                format!("{:.1}", r.spec),
+                format!("{:.2}", r.miss_rate),
+                format!("{:.2}", r.ipc_loss),
+            ]);
+        }
+        out.push_str(&t.render());
+        if !self.failed.is_empty() {
+            out.push_str(&format!(
+                "\nFAILED cells ({}): {}\n",
+                self.failed.len(),
+                self.failed.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Headline: confidence quality — PVN × Spec, the precision ×
+    /// recall of flagged mispredictions — must fall monotonically
+    /// (within a small noise tolerance) for *both* estimators, and the
+    /// perceptron machine must additionally lose IPC monotonically and
+    /// strictly at the heaviest rate.
+    ///
+    /// The JRS machine's IPC is deliberately excluded: upsets knock
+    /// its resetting counters *off* zero, so faults shed low-
+    /// confidence marks and *un-gate* the pipeline — the machine runs
+    /// faster while silently losing the wasted-work reduction gating
+    /// existed for. The quality product captures that collapse; raw
+    /// IPC would reward it.
+    #[must_use]
+    pub fn degrades_monotonically(&self) -> bool {
+        const QUALITY_SLACK: f64 = 1.02; // 2% relative noise allowance
+        const IPC_TOL: f64 = 0.5; // percentage points of IPC loss
+        let quality_falls = ESTIMATORS.iter().all(|est| {
+            let q: Vec<f64> = self
+                .rows
+                .iter()
+                .filter(|r| &r.estimator == est)
+                .map(|r| r.pvn * r.spec)
+                .collect();
+            q.len() >= 2
+                && q.windows(2).all(|w| w[1] <= w[0] * QUALITY_SLACK)
+                && q[q.len() - 1] < q[0]
+        });
+        let perceptron_ipc_falls = {
+            let rs: Vec<&FaultRow> = self
+                .rows
+                .iter()
+                .filter(|r| r.estimator == "perceptron")
+                .collect();
+            rs.len() >= 2
+                && rs
+                    .windows(2)
+                    .all(|w| w[1].ipc_loss >= w[0].ipc_loss - IPC_TOL)
+                && rs.last().expect("non-empty").ipc_loss > 0.0
+        };
+        quality_falls && perceptron_ipc_falls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_seed_is_deterministic_and_distinguishes_cells() {
+        let a = cell_seed(7, "gcc", "jrs", 1);
+        assert_eq!(a, cell_seed(7, "gcc", "jrs", 1));
+        assert_ne!(a, cell_seed(7, "gcc", "jrs", 2));
+        assert_ne!(a, cell_seed(7, "mcf", "jrs", 1));
+        assert_ne!(a, cell_seed(7, "gcc", "perceptron", 1));
+        assert_ne!(a, cell_seed(8, "gcc", "jrs", 1));
+    }
+
+    #[test]
+    fn zero_rate_cell_reproduces_the_unwrapped_baseline_exactly() {
+        let scale = Scale::tiny();
+        let cell = run_cell("gcc", "perceptron", 0.0, 42, scale);
+        // Unwrapped reference, same workload and scale.
+        let wl = perconf_workload::spec2000_config("gcc").unwrap();
+        let mut p = baseline_bimodal_gshare();
+        let mut e = PerceptronCe::new(PerceptronCeConfig::default());
+        let (cm, _) = trace_eval(
+            &wl,
+            &mut p,
+            &mut e,
+            scale.warmup_branches,
+            scale.run_branches,
+            None,
+        );
+        assert!((cell.pvn - cm.pvn() * 100.0).abs() < 1e-12);
+        assert!((cell.spec - cm.spec() * 100.0).abs() < 1e-12);
+        assert!((cell.miss_rate - cm.misprediction_rate() * 100.0).abs() < 1e-12);
+        let ctl = SpeculationController::new(
+            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
+                as Box<dyn ConfidenceEstimator>,
+        );
+        let stats = run_pipeline(&wl, PipelineConfig::deep().gated(1), ctl, scale);
+        assert!((cell.ipc - stats.ipc()).abs() < 1e-12);
+        assert_eq!(cell.faults_predictor, 0);
+        assert_eq!(cell.faults_estimator, 0);
+    }
+
+    #[test]
+    fn heavy_faults_degrade_the_predictor() {
+        let scale = Scale::tiny();
+        let clean = run_cell("gcc", "jrs", 0.0, 9, scale);
+        let dirty = run_cell("gcc", "jrs", 1e-2, 9, scale);
+        assert!(dirty.faults_predictor > 0);
+        assert!(
+            dirty.miss_rate > clean.miss_rate,
+            "dirty {} vs clean {}",
+            dirty.miss_rate,
+            clean.miss_rate
+        );
+    }
+
+    #[test]
+    fn headline_requires_quality_collapse_and_perceptron_ipc_loss() {
+        let row = |est: &str, rate: f64, pvn: f64, spec: f64, ipc_loss: f64| FaultRow {
+            estimator: est.to_owned(),
+            rate,
+            pvn,
+            spec,
+            miss_rate: 5.0,
+            ipc_loss,
+        };
+        let mut t = FaultTable {
+            seed: 0,
+            rows: vec![
+                row("perceptron", 0.0, 54.0, 18.0, 0.0),
+                row("perceptron", 1e-1, 27.0, 21.0, 8.0),
+                row("jrs", 0.0, 34.0, 48.0, 0.0),
+                row("jrs", 1e-1, 35.0, 38.0, -2.0),
+            ],
+            cells: Vec::new(),
+            failed: Vec::new(),
+        };
+        // The real shape: perceptron degrades everywhere, JRS loses
+        // coverage (quality falls) while its machine speeds up.
+        assert!(t.degrades_monotonically());
+        // Perceptron machine speeding up breaks the headline.
+        t.rows[1].ipc_loss = -1.0;
+        assert!(!t.degrades_monotonically());
+        t.rows[1].ipc_loss = 8.0;
+        // JRS quality *improving* breaks it too.
+        t.rows[3].spec = 60.0;
+        assert!(!t.degrades_monotonically());
+    }
+
+    #[test]
+    fn aggregate_groups_by_estimator_and_rate() {
+        let mk = |est: &str, bench: &str, rate: f64, ipc: f64| FaultCell {
+            benchmark: bench.to_owned(),
+            estimator: est.to_owned(),
+            rate,
+            pvn: 50.0,
+            spec: 30.0,
+            miss_rate: 5.0,
+            ipc,
+            faults_predictor: 0,
+            faults_estimator: 0,
+        };
+        let cells = vec![
+            mk("jrs", "gcc", 0.0, 2.0),
+            mk("jrs", "gcc", 1e-2, 1.5),
+            mk("jrs", "mcf", 0.0, 1.0),
+            mk("jrs", "mcf", 1e-2, 0.8),
+        ];
+        let rows = aggregate(&cells);
+        assert_eq!(rows.len(), 2);
+        let dirty = rows.iter().find(|r| r.rate == 1e-2).unwrap();
+        // Mean of 25% and 20% loss.
+        assert!((dirty.ipc_loss - 22.5).abs() < 1e-9);
+        let clean = rows.iter().find(|r| r.rate == 0.0).unwrap();
+        assert!(clean.ipc_loss.abs() < 1e-12);
+    }
+}

@@ -127,11 +127,7 @@ impl Fig8 {
                 )
             })
             .collect();
-        perconf_metrics::svg::bars_svg(
-            title,
-            &["speedup", "U(exec)", "U(fetch)"],
-            &rows,
-        )
+        perconf_metrics::svg::bars_svg(title, &["speedup", "U(exec)", "U(fetch)"], &rows)
     }
 
     /// Renders per-benchmark bars plus the averages, with the paper's
@@ -172,8 +168,16 @@ impl Fig8 {
             format!("{:.1}", self.avg_speedup()),
             format!("{:.1}", self.avg_uop_reduction()),
             format!("{:.1}", self.avg_fetch_reduction()),
-            self.rows.iter().map(|r| r.reversals_good).sum::<u64>().to_string(),
-            self.rows.iter().map(|r| r.reversals_bad).sum::<u64>().to_string(),
+            self.rows
+                .iter()
+                .map(|r| r.reversals_good)
+                .sum::<u64>()
+                .to_string(),
+            self.rows
+                .iter()
+                .map(|r| r.reversals_bad)
+                .sum::<u64>()
+                .to_string(),
         ]);
         format!(
             "{title}\n(paper: avg uop reduction {paper_u:.0}%, no average performance loss)\n{}",

@@ -85,8 +85,12 @@ pub fn run(training: Training, bench: &str, scale: Scale) -> FigDensity {
     let mut gen = WorkloadGenerator::new(&wl);
     let mut predictor = PredictorKind::BimodalGshare.build();
     let mut est = match training {
-        Training::CorrectIncorrect => Estimator::Cic(PerceptronCe::new(PerceptronCeConfig::default())),
-        Training::TakenNotTaken => Estimator::Tnt(PerceptronTnt::new(PerceptronTntConfig::default())),
+        Training::CorrectIncorrect => {
+            Estimator::Cic(PerceptronCe::new(PerceptronCeConfig::default()))
+        }
+        Training::TakenNotTaken => {
+            Estimator::Tnt(PerceptronTnt::new(PerceptronTntConfig::default()))
+        }
     };
     let mut full = DensityPair::new(full_range.0, full_range.1, full_range.2);
     let mut zoom = DensityPair::new(zoom_range.0, zoom_range.1, zoom_range.2);

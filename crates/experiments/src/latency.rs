@@ -32,18 +32,14 @@ pub const LATENCIES: [u32; 3] = [1, 9, 20];
 /// pipeline).
 #[must_use]
 pub fn run(scale: Scale) -> LatencyStudy {
-    let baselines = BaselineSet::build(
-        PredictorKind::BimodalGshare,
-        PipelineConfig::deep(),
-        scale,
-    );
+    let baselines = BaselineSet::build(PredictorKind::BimodalGshare, PipelineConfig::deep(), scale);
     let rows = LATENCIES
         .iter()
         .map(|&lat| {
-            let (mean, _) = baselines.evaluate(
-                baselines.pipe().gated(1).with_ce_latency(lat),
-                || controller(PredictorKind::BimodalGshare, perceptron(0)),
-            );
+            let (mean, _) = baselines
+                .evaluate(baselines.pipe().gated(1).with_ce_latency(lat), || {
+                    controller(PredictorKind::BimodalGshare, perceptron(0))
+                });
             LatencyRow {
                 ce_latency: lat,
                 outcome: mean,
@@ -57,8 +53,7 @@ impl LatencyStudy {
     /// Renders the study.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut t =
-            Table::with_headers(&["CE latency", "U(exec)%", "U(fetch)%", "P%"]);
+        let mut t = Table::with_headers(&["CE latency", "U(exec)%", "U(fetch)%", "P%"]);
         t.numeric();
         for r in &self.rows {
             t.row(vec![

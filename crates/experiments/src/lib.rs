@@ -22,6 +22,11 @@
 //! | `latency` | §5.4.2 estimator-latency sensitivity | [`latency`] |
 //! | `fig8`/`fig9` | combined gating + reversal per benchmark | [`fig89`] |
 //! | `energy` | energy / energy×delay of gating (extension) | [`energy`] |
+//! | `faults` | resilience under fault injection (extension) | [`faults`] |
+//!
+//! Long sweeps run their cells through [`runner::Runner`], which
+//! isolates panics, applies watchdog timeouts, and checkpoints
+//! completed cells so `repro --resume <dir>` skips finished work.
 //!
 //! Absolute numbers differ from the paper (the substrate is a
 //! synthetic-trace simulator, not Intel's LIT testbed — see
@@ -33,10 +38,12 @@
 
 pub mod common;
 pub mod energy;
+pub mod faults;
 pub mod fig89;
 pub mod figs;
 pub mod latency;
 pub mod paper;
+pub mod runner;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,450 @@
+//! Panic-isolated, watchdogged, resumable sweep runner.
+//!
+//! Large sweeps ((benchmark × estimator × config) grids) used to be
+//! all-or-nothing: one panicking or hanging cell killed hours of
+//! finished work. [`Runner`] executes each cell on a worker thread
+//! under `catch_unwind` with a watchdog timeout and bounded
+//! retry-with-backoff; completed cells are checkpointed as JSON so a
+//! rerun with `resume` enabled skips everything already done and only
+//! re-executes cells that failed (their `*.failed.json` markers are
+//! cleared on resume).
+//!
+//! A failed cell produces a [`RunError`] value — the sweep continues
+//! and the driver reports which cells are missing rather than dying.
+
+use serde::{Deserialize, DeserializeOwned, Serialize};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// Why a sweep cell failed, after exhausting its retry budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunError {
+    /// The cell's code panicked; the payload message is preserved.
+    Panic {
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// The watchdog expired before the cell finished.
+    Timeout {
+        /// Configured timeout that elapsed, in seconds.
+        seconds: f64,
+    },
+    /// Checkpoint or marker I/O failed.
+    Io {
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A simulator invariant surfaced as a recoverable error
+    /// (see `perconf_pipeline::SimError`).
+    Invariant {
+        /// The invariant violation, rendered.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panic { message } => write!(f, "panicked: {message}"),
+            RunError::Timeout { seconds } => write!(f, "timed out after {seconds}s"),
+            RunError::Io { message } => write!(f, "i/o error: {message}"),
+            RunError::Invariant { message } => write!(f, "invariant violated: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Io {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<perconf_pipeline::SimError> for RunError {
+    fn from(e: perconf_pipeline::SimError) -> Self {
+        RunError::Invariant {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Isolation and checkpointing policy for a [`Runner`].
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Directory for per-cell checkpoints and failure markers. `None`
+    /// disables persistence (cells still get isolation and retries).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// When `true`, cells whose checkpoint already exists are loaded
+    /// instead of re-executed, and stale failure markers are cleared
+    /// so failed cells run again.
+    pub resume: bool,
+    /// Watchdog: maximum wall-clock time one attempt may take. `None`
+    /// waits forever. On expiry the worker thread is abandoned (it
+    /// cannot be killed safely) and the attempt counts as failed.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after the first failure.
+    pub retries: u32,
+    /// Sleep before retry `n` is `backoff << (n - 1)` (exponential).
+    pub backoff: Duration,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_dir: None,
+            resume: false,
+            timeout: Some(Duration::from_secs(600)),
+            retries: 1,
+            backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Checkpoint into (and resume from) `dir` with default isolation
+    /// settings.
+    #[must_use]
+    pub fn resuming<P: Into<PathBuf>>(dir: P) -> Self {
+        Self {
+            checkpoint_dir: Some(dir.into()),
+            resume: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Executes sweep cells with panic isolation, a watchdog, retries and
+/// JSON checkpointing. See the module docs.
+#[derive(Debug)]
+pub struct Runner {
+    cfg: RunnerConfig,
+    failures: Vec<(String, RunError)>,
+    executed: u64,
+    resumed: u64,
+}
+
+impl Runner {
+    /// Builds a runner. The checkpoint directory is created lazily on
+    /// first use.
+    #[must_use]
+    pub fn new(cfg: RunnerConfig) -> Self {
+        Self {
+            cfg,
+            failures: Vec::new(),
+            executed: 0,
+            resumed: 0,
+        }
+    }
+
+    /// A runner with no persistence and no watchdog: plain panic
+    /// isolation with the default retry budget.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::new(RunnerConfig {
+            timeout: None,
+            ..RunnerConfig::default()
+        })
+    }
+
+    /// Cells that exhausted their retries, with the last error each.
+    #[must_use]
+    pub fn failures(&self) -> &[(String, RunError)] {
+        &self.failures
+    }
+
+    /// Cells actually executed (not loaded from checkpoints).
+    #[must_use]
+    pub fn cells_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Cells satisfied from checkpoints.
+    #[must_use]
+    pub fn cells_resumed(&self) -> u64 {
+        self.resumed
+    }
+
+    /// The checkpoint file a cell key maps to, if persistence is on.
+    #[must_use]
+    pub fn checkpoint_path(&self, key: &str) -> Option<PathBuf> {
+        self.cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", sanitize(key))))
+    }
+
+    /// The failure-marker file a cell key maps to.
+    #[must_use]
+    pub fn failed_path(&self, key: &str) -> Option<PathBuf> {
+        self.cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.failed.json", sanitize(key))))
+    }
+
+    /// Runs one sweep cell.
+    ///
+    /// With resume enabled and a checkpoint present, returns the
+    /// checkpointed value without executing `work`. Otherwise runs
+    /// `work` on a worker thread under `catch_unwind` and the
+    /// configured watchdog, retrying with exponential backoff up to
+    /// the retry budget. Success is checkpointed; exhaustion writes a
+    /// `<key>.failed.json` marker, records the failure, and returns
+    /// the final error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`RunError`] when every attempt failed.
+    pub fn run_cell<T, F>(&mut self, key: &str, work: F) -> Result<T, RunError>
+    where
+        T: Serialize + DeserializeOwned + Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        if self.cfg.resume {
+            if let Some(v) = self.load_checkpoint(key) {
+                self.resumed += 1;
+                return Ok(v);
+            }
+            // A stale failure marker means this cell is being retried.
+            if let Some(p) = self.failed_path(key) {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        let work = Arc::new(work);
+        let mut last = RunError::Panic {
+            message: "cell never ran".to_owned(),
+        };
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                thread::sleep(self.cfg.backoff * (1 << (attempt - 1)));
+            }
+            self.executed += 1;
+            match self.attempt(Arc::clone(&work)) {
+                Ok(v) => {
+                    if let Err(e) = self.write_checkpoint(key, &v) {
+                        eprintln!("warning: cell {key}: {e}");
+                    }
+                    return Ok(v);
+                }
+                Err(e) => {
+                    eprintln!("warning: cell {key} attempt {attempt}: {e}");
+                    last = e;
+                }
+            }
+        }
+        self.mark_failed(key, &last);
+        self.failures.push((key.to_owned(), last.clone()));
+        Err(last)
+    }
+
+    /// One isolated attempt: worker thread + catch_unwind + watchdog.
+    fn attempt<T, F>(&self, work: Arc<F>) -> Result<T, RunError>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let handle = thread::Builder::new()
+            .name("sweep-cell".to_owned())
+            .spawn(move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| work()));
+                // Receiver gone = watchdog already gave up on us.
+                let _ = tx.send(result);
+            })
+            .map_err(|e| RunError::Io {
+                message: format!("cannot spawn worker: {e}"),
+            })?;
+        let outcome = match self.cfg.timeout {
+            Some(t) => match rx.recv_timeout(t) {
+                Ok(r) => r,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // The worker cannot be killed; it is abandoned and
+                    // will exit (detached) whenever its cell returns.
+                    return Err(RunError::Timeout {
+                        seconds: t.as_secs_f64(),
+                    });
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    Err(Box::new(String::from("worker vanished without reporting"))
+                        as Box<dyn std::any::Any + Send>)
+                }
+            },
+            None => {
+                let r = rx.recv().unwrap_or_else(|_| {
+                    Err(Box::new(String::from("worker vanished without reporting"))
+                        as Box<dyn std::any::Any + Send>)
+                });
+                let _ = handle.join();
+                r
+            }
+        };
+        outcome.map_err(|payload| RunError::Panic {
+            message: panic_message(payload.as_ref()),
+        })
+    }
+
+    fn load_checkpoint<T: DeserializeOwned>(&mut self, key: &str) -> Option<T> {
+        let path = self.checkpoint_path(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        match serde_json::from_str(&text) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                // Corrupt checkpoint: drop it and recompute the cell.
+                eprintln!(
+                    "warning: discarding unreadable checkpoint {}: {e}",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn write_checkpoint<T: Serialize>(&self, key: &str, value: &T) -> Result<(), RunError> {
+        let Some(path) = self.checkpoint_path(key) else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let text = serde_json::to_string_pretty(value).map_err(|e| RunError::Io {
+            message: format!("cannot serialize checkpoint: {e}"),
+        })?;
+        std::fs::write(&path, text)?;
+        Ok(())
+    }
+
+    fn mark_failed(&self, key: &str, err: &RunError) {
+        let Some(path) = self.failed_path(key) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(text) = serde_json::to_string_pretty(err) {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: cannot write failure marker for {key}: {e}");
+            }
+        }
+    }
+}
+
+/// Maps a cell key to a filesystem-safe stem.
+fn sanitize(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders a panic payload (the `&str`/`String` cases panics actually
+/// carry) into text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_safe_chars_and_replaces_the_rest() {
+        assert_eq!(sanitize("faults/gcc r=1e-4"), "faults_gcc_r_1e-4");
+        assert_eq!(sanitize("table3"), "table3");
+    }
+
+    #[test]
+    fn run_error_display_and_json_round_trip() {
+        let e = RunError::Timeout { seconds: 1.5 };
+        assert_eq!(e.to_string(), "timed out after 1.5s");
+        let text = serde_json::to_string(&e).unwrap();
+        let back: RunError = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
+        let p = RunError::Panic {
+            message: "boom".to_owned(),
+        };
+        assert_eq!(p.to_string(), "panicked: boom");
+    }
+
+    #[test]
+    fn sim_error_converts_to_invariant() {
+        let e: RunError = perconf_pipeline::SimError::RobOverflow { len: 9, cap: 8 }.into();
+        assert!(matches!(e, RunError::Invariant { .. }));
+        assert!(e.to_string().contains("ROB overflow"));
+    }
+
+    #[test]
+    fn in_memory_runner_isolates_panics_and_retries() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let mut r = Runner::new(RunnerConfig {
+            timeout: None,
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..RunnerConfig::default()
+        });
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        // Fails twice, then succeeds on the third attempt.
+        let out = r.run_cell("flaky", move || {
+            if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            7u32
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert!(r.failures().is_empty());
+        assert_eq!(r.cells_executed(), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_record_the_failure() {
+        let mut r = Runner::new(RunnerConfig {
+            timeout: None,
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            ..RunnerConfig::default()
+        });
+        let out: Result<u32, RunError> = r.run_cell("doomed", || panic!("always"));
+        let err = out.unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Panic {
+                message: "always".to_owned()
+            }
+        );
+        assert_eq!(r.failures().len(), 1);
+        assert_eq!(r.failures()[0].0, "doomed");
+    }
+
+    #[test]
+    fn watchdog_times_out_hung_cells() {
+        let mut r = Runner::new(RunnerConfig {
+            timeout: Some(Duration::from_millis(50)),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            ..RunnerConfig::default()
+        });
+        let out: Result<u32, RunError> = r.run_cell("hung", || loop {
+            thread::sleep(Duration::from_millis(20));
+        });
+        assert!(matches!(out.unwrap_err(), RunError::Timeout { .. }));
+    }
+}

@@ -89,8 +89,17 @@ impl Table3 {
     /// Renders both halves with the paper's numbers alongside.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from("Table 3: confidence estimation metrics (PVN = accuracy, Spec = coverage)\n");
-        let mut t = Table::with_headers(&["estimator", "λ", "PVN%", "PVN(paper)", "Spec%", "Spec(paper)"]);
+        let mut out = String::from(
+            "Table 3: confidence estimation metrics (PVN = accuracy, Spec = coverage)\n",
+        );
+        let mut t = Table::with_headers(&[
+            "estimator",
+            "λ",
+            "PVN%",
+            "PVN(paper)",
+            "Spec%",
+            "Spec(paper)",
+        ]);
         t.numeric();
         for (row, p) in self.jrs.iter().zip(paper::TABLE3_JRS) {
             t.row(vec![

@@ -48,11 +48,7 @@ pub fn run_point(
 /// Runs the Table 4 experiment on the deep (40-cycle) pipeline.
 #[must_use]
 pub fn run(scale: Scale) -> Table4 {
-    let baselines = BaselineSet::build(
-        PredictorKind::BimodalGshare,
-        PipelineConfig::deep(),
-        scale,
-    );
+    let baselines = BaselineSet::build(PredictorKind::BimodalGshare, PipelineConfig::deep(), scale);
     let mut jrs_rows = Vec::new();
     for pl in [1u32, 2, 3] {
         for &l in &JRS_LAMBDAS {

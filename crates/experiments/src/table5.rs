@@ -48,8 +48,9 @@ fn run_predictor(kind: PredictorKind, lambdas: &[i32], scale: Scale) -> Vec<Tabl
     lambdas
         .iter()
         .map(|&l| {
-            let (mean, _) = baselines
-                .evaluate(baselines.pipe().gated(1), || controller(kind, perceptron(l)));
+            let (mean, _) = baselines.evaluate(baselines.pipe().gated(1), || {
+                controller(kind, perceptron(l))
+            });
             Table5Row {
                 predictor: kind,
                 lambda: l,
@@ -89,9 +90,7 @@ impl Table5 {
         t.numeric();
         for row in &self.rows {
             let (name, paper_rows): (&str, &[(i32, f64, f64)]) = match row.predictor {
-                PredictorKind::BimodalGshare => {
-                    ("bimodal-gshare", &paper::TABLE5_BIMODAL_GSHARE)
-                }
+                PredictorKind::BimodalGshare => ("bimodal-gshare", &paper::TABLE5_BIMODAL_GSHARE),
                 PredictorKind::GsharePerceptron => {
                     ("gshare-perceptron", &paper::TABLE5_GSHARE_PERCEPTRON)
                 }

@@ -42,11 +42,7 @@ pub const CONFIGS: [(u32, u32, u32); 7] = [
 /// Runs the Table 6 experiment.
 #[must_use]
 pub fn run(scale: Scale) -> Table6 {
-    let baselines = BaselineSet::build(
-        PredictorKind::BimodalGshare,
-        PipelineConfig::deep(),
-        scale,
-    );
+    let baselines = BaselineSet::build(PredictorKind::BimodalGshare, PipelineConfig::deep(), scale);
     let mut rows = Vec::new();
     for (entries, wbits, hist) in CONFIGS {
         let cfg = PerceptronCeConfig::sized(entries, wbits, hist);

@@ -1,0 +1,112 @@
+//! End-to-end resilience of the sweep runner: a mid-sweep panic must
+//! not lose finished cells, and a resumed sweep must re-execute only
+//! the cell that failed.
+
+use perconf_experiments::runner::{RunError, Runner, RunnerConfig};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CELLS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "perconf-runner-resume-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sweep(
+    dir: &std::path::Path,
+    poison: Option<&str>,
+    calls: &Arc<AtomicU32>,
+) -> (Runner, Vec<Result<String, RunError>>) {
+    let mut runner = Runner::new(RunnerConfig {
+        retries: 0,
+        backoff: Duration::from_millis(1),
+        ..RunnerConfig::resuming(dir)
+    });
+    let mut results = Vec::new();
+    for cell in CELLS {
+        let c = Arc::clone(calls);
+        let poisoned = poison == Some(cell);
+        let name = cell.to_owned();
+        results.push(runner.run_cell(cell, move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            assert!(!poisoned, "injected failure in {name}");
+            format!("result of {name}")
+        }));
+    }
+    (runner, results)
+}
+
+#[test]
+fn panicking_cell_fails_alone_and_resume_reruns_only_it() {
+    let dir = fresh_dir("sweep");
+
+    // First pass: "gamma" panics mid-sweep. The other three cells
+    // complete and are checkpointed; the sweep itself survives.
+    let calls = Arc::new(AtomicU32::new(0));
+    let (runner, results) = sweep(&dir, Some("gamma"), &calls);
+    assert_eq!(calls.load(Ordering::SeqCst), 4, "every cell executed");
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 3);
+    assert!(matches!(results[2], Err(RunError::Panic { .. })));
+    assert_eq!(runner.failures().len(), 1);
+    assert_eq!(runner.failures()[0].0, "gamma");
+    for cell in ["alpha", "beta", "delta"] {
+        assert!(
+            runner.checkpoint_path(cell).unwrap().is_file(),
+            "{cell} should be checkpointed"
+        );
+    }
+    assert!(!runner.checkpoint_path("gamma").unwrap().is_file());
+    assert!(
+        runner.failed_path("gamma").unwrap().is_file(),
+        "failed cell leaves a marker"
+    );
+
+    // Second pass with the panic gone: only the failed cell runs, the
+    // rest are loaded from their checkpoints, and its marker clears.
+    let calls = Arc::new(AtomicU32::new(0));
+    let (runner, results) = sweep(&dir, None, &calls);
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "resume must re-execute only the failed cell"
+    );
+    assert!(results.iter().all(|r| r.is_ok()));
+    assert_eq!(results[2].as_ref().unwrap(), "result of gamma");
+    assert_eq!(runner.cells_resumed(), 3);
+    assert_eq!(runner.cells_executed(), 1);
+    assert!(runner.failures().is_empty());
+    assert!(!runner.failed_path("gamma").unwrap().is_file());
+
+    // Third pass: nothing left to do.
+    let calls = Arc::new(AtomicU32::new(0));
+    let (runner, _) = sweep(&dir, None, &calls);
+    assert_eq!(calls.load(Ordering::SeqCst), 0);
+    assert_eq!(runner.cells_resumed(), 4);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_is_recomputed_not_trusted() {
+    let dir = fresh_dir("corrupt");
+
+    let calls = Arc::new(AtomicU32::new(0));
+    let (runner, _) = sweep(&dir, None, &calls);
+    assert_eq!(calls.load(Ordering::SeqCst), 4);
+    let beta = runner.checkpoint_path("beta").unwrap();
+    std::fs::write(&beta, "{ not json").unwrap();
+
+    let calls = Arc::new(AtomicU32::new(0));
+    let (runner, results) = sweep(&dir, None, &calls);
+    assert_eq!(calls.load(Ordering::SeqCst), 1, "only beta recomputes");
+    assert_eq!(results[1].as_ref().unwrap(), "result of beta");
+    assert_eq!(runner.cells_resumed(), 3);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

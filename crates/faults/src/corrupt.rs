@@ -1,0 +1,242 @@
+use std::io;
+
+use perconf_workload::Uop;
+
+use crate::plan::{FaultConfig, FaultPlan};
+
+/// Bit width of the record-corruption address space (see
+/// [`corrupt_uop`]).
+const RECORD_FAULT_BITS: u64 = 193;
+
+/// Flips one bit of a decoded trace record's payload, addressed in a
+/// stable field-level space modelled on the on-disk record layout:
+///
+/// | bits      | field                                     |
+/// |-----------|-------------------------------------------|
+/// | 0..32     | `src1`                                    |
+/// | 32..64    | `src2`                                    |
+/// | 64..128   | `mem.addr` (no-op when the uop has no mem) |
+/// | 128..192  | `branch.pc` (no-op when not a branch)      |
+/// | 192       | `branch.taken` (no-op when not a branch)   |
+///
+/// Faults landing in an absent field are dropped, like strikes on the
+/// unused bytes of a fixed-width record. The uop's `kind` is never
+/// touched, so a corrupted record is always structurally valid — it
+/// carries wrong *data*, not an undecodable encoding (the reader's
+/// checksum path covers that failure mode separately).
+///
+/// Returns `true` if a bit actually changed.
+pub fn corrupt_uop(u: &mut Uop, bit: u64) -> bool {
+    let bit = bit % RECORD_FAULT_BITS;
+    match bit {
+        0..=31 => {
+            u.src1 ^= 1 << bit;
+            true
+        }
+        32..=63 => {
+            u.src2 ^= 1 << (bit - 32);
+            true
+        }
+        64..=127 => match &mut u.mem {
+            Some(m) => {
+                m.addr ^= 1 << (bit - 64);
+                true
+            }
+            None => false,
+        },
+        128..=191 => match &mut u.branch {
+            Some(b) => {
+                b.pc ^= 1 << (bit - 128);
+                true
+            }
+            None => false,
+        },
+        _ => match &mut u.branch {
+            Some(b) => {
+                b.taken = !b.taken;
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// Wraps any stream of trace records (for instance a
+/// [`TraceReader`](perconf_workload::TraceReader)) and injects seeded
+/// record-level corruption: with the plan's per-access probability a
+/// record is yielded with one payload bit flipped, per [`corrupt_uop`].
+///
+/// I/O errors from the underlying stream pass through untouched; the
+/// corruptor only ever damages successfully decoded records, modelling
+/// data rot that the record checksum did not catch.
+#[derive(Debug)]
+pub struct CorruptingReader<I> {
+    inner: I,
+    plan: FaultPlan,
+    corrupted: u64,
+}
+
+impl<I> CorruptingReader<I> {
+    /// Wraps `inner` under the fault campaign `cfg` (`history_rate` is
+    /// ignored here; only `rate`/`seed` apply).
+    #[must_use]
+    pub fn new(inner: I, cfg: &FaultConfig) -> Self {
+        Self {
+            inner,
+            plan: FaultPlan::new(cfg),
+            corrupted: 0,
+        }
+    }
+
+    /// Number of records actually corrupted (faults that landed in an
+    /// absent field are not counted).
+    #[must_use]
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// Number of records that have passed through.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.plan.accesses()
+    }
+
+    /// Unwraps the underlying stream.
+    #[must_use]
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: Iterator<Item = io::Result<Uop>>> Iterator for CorruptingReader<I> {
+    type Item = io::Result<Uop>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        Some(item.map(|mut u| {
+            if let Some(bit) = self.plan.next_fault(RECORD_FAULT_BITS) {
+                if corrupt_uop(&mut u, bit) {
+                    self.corrupted += 1;
+                }
+            }
+            u
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perconf_workload::{TraceReader, TraceWriter, UopKind};
+    use std::io::Cursor;
+
+    fn sample_trace() -> Vec<u8> {
+        let mut buf = Cursor::new(Vec::new());
+        {
+            let mut w = TraceWriter::new(&mut buf).unwrap();
+            for i in 0..200u64 {
+                w.write_uop(&Uop::branch(0x40 + i * 4, i as u32, i % 3 == 0, 1))
+                    .unwrap();
+                w.write_uop(&Uop::mem(UopKind::Load, 0x1000 + i * 8, 2))
+                    .unwrap();
+                w.write_uop(&Uop::alu(UopKind::IntAlu, 1, 2)).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        buf.into_inner()
+    }
+
+    fn read_all(bytes: &[u8], cfg: &FaultConfig) -> Vec<Uop> {
+        let reader = TraceReader::new(Cursor::new(bytes)).unwrap();
+        CorruptingReader::new(reader, cfg)
+            .map(|r| r.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_is_bit_identical_passthrough() {
+        let bytes = sample_trace();
+        let clean: Vec<Uop> = TraceReader::new(Cursor::new(&bytes[..]))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let piped = read_all(&bytes, &FaultConfig::none());
+        assert_eq!(clean, piped);
+    }
+
+    #[test]
+    fn same_seed_corrupts_identically() {
+        let bytes = sample_trace();
+        let cfg = FaultConfig::state_only(0.2, 77);
+        let a = read_all(&bytes, &cfg);
+        let b = read_all(&bytes, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_changes_some_records_and_counts_them() {
+        let bytes = sample_trace();
+        let clean: Vec<Uop> = TraceReader::new(Cursor::new(&bytes[..]))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let cfg = FaultConfig::state_only(0.5, 3);
+        let reader = TraceReader::new(Cursor::new(&bytes[..])).unwrap();
+        let mut cr = CorruptingReader::new(reader, &cfg);
+        let dirty: Vec<Uop> = cr.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(cr.records(), clean.len() as u64);
+        let differing = clean.iter().zip(&dirty).filter(|(a, b)| a != b).count();
+        assert_eq!(differing as u64, cr.corrupted());
+        assert!(cr.corrupted() > 0);
+    }
+
+    #[test]
+    fn corrupted_records_stay_structurally_valid() {
+        let bytes = sample_trace();
+        for u in read_all(&bytes, &FaultConfig::state_only(1.0, 9)) {
+            assert_eq!(u.branch.is_some(), u.kind == UopKind::Branch);
+            assert_eq!(u.mem.is_some(), u.kind.is_mem());
+        }
+    }
+
+    #[test]
+    fn corrupt_uop_field_map_is_stable() {
+        let mut b = Uop::branch(0x40, 1, true, 3);
+        assert!(corrupt_uop(&mut b, 192));
+        assert!(!b.branch.unwrap().taken);
+        assert!(corrupt_uop(&mut b, 128));
+        assert_eq!(b.branch.unwrap().pc, 0x41);
+        assert!(corrupt_uop(&mut b, 0));
+        assert_eq!(b.src1, 2);
+        // Memory faults miss a branch uop entirely.
+        assert!(!corrupt_uop(&mut b, 64));
+
+        let mut l = Uop::mem(UopKind::Load, 0x1000, 1);
+        assert!(corrupt_uop(&mut l, 64));
+        assert_eq!(l.mem.unwrap().addr, 0x1001);
+        // Branch faults miss a load.
+        assert!(!corrupt_uop(&mut l, 130));
+        assert!(!corrupt_uop(&mut l, 192));
+    }
+
+    #[test]
+    fn addresses_wrap_modulo_record_space() {
+        let mut a = Uop::alu(UopKind::IntAlu, 0, 0);
+        let mut b = Uop::alu(UopKind::IntAlu, 0, 0);
+        corrupt_uop(&mut a, 5);
+        corrupt_uop(&mut b, 5 + RECORD_FAULT_BITS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn io_errors_pass_through() {
+        let items: Vec<io::Result<Uop>> = vec![
+            Ok(Uop::alu(UopKind::IntAlu, 0, 0)),
+            Err(io::Error::new(io::ErrorKind::InvalidData, "bad record")),
+        ];
+        let mut cr = CorruptingReader::new(items.into_iter(), &FaultConfig::state_only(1.0, 1));
+        assert!(cr.next().unwrap().is_ok());
+        assert!(cr.next().unwrap().is_err());
+        assert!(cr.next().is_none());
+    }
+}

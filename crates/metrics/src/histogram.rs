@@ -92,7 +92,10 @@ impl Histogram {
 
     /// Iterates over `(bin_lower_edge, count)` pairs in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
-        self.bins.iter().enumerate().map(|(i, &c)| (self.edge(i), c))
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.edge(i), c))
     }
 
     /// Sum of counts in bins whose lower edge lies in `[from, to)`.
@@ -120,10 +123,7 @@ impl Histogram {
             return None;
         }
         let half = f64::from(self.bin_width) / 2.0;
-        let sum: f64 = self
-            .iter()
-            .map(|(e, c)| (e as f64 + half) * c as f64)
-            .sum();
+        let sum: f64 = self.iter().map(|(e, c)| (e as f64 + half) * c as f64).sum();
         Some(sum / self.count as f64)
     }
 
@@ -183,7 +183,13 @@ impl DensityPair {
     /// scales for the same reason: MB counts are far smaller).
     #[must_use]
     pub fn to_ascii(&self, width: usize) -> String {
-        let max_cb = self.correct.iter().map(|(_, c)| c).max().unwrap_or(0).max(1);
+        let max_cb = self
+            .correct
+            .iter()
+            .map(|(_, c)| c)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let max_mb = self
             .mispredicted
             .iter()
@@ -201,10 +207,7 @@ impl DensityPair {
         for ((edge, cb), (_, mb)) in self.correct.iter().zip(self.mispredicted.iter()) {
             let cbar = "#".repeat((cb * width as u64 / max_cb) as usize);
             let mbar = "#".repeat((mb * width as u64 / max_mb) as usize);
-            out.push_str(&format!(
-                "{edge:>8} | {cbar:<w$} | {mbar:<w$}\n",
-                w = width
-            ));
+            out.push_str(&format!("{edge:>8} | {cbar:<w$} | {mbar:<w$}\n", w = width));
         }
         out
     }

@@ -29,7 +29,10 @@ fn header(title: &str) -> String {
 }
 
 fn polyline(points: &[(f64, f64)], color: &str) -> String {
-    let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+    let pts: Vec<String> = points
+        .iter()
+        .map(|(x, y)| format!("{x:.1},{y:.1}"))
+        .collect();
     format!(
         r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
         pts.join(" ")

@@ -62,6 +62,6 @@ mod stats;
 pub use cache::{Cache, CacheConfig, MemHierarchy, MemHierarchyConfig, StreamPrefetcher};
 pub use config::{GatingConfig, PipelineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use sim::{Controller, Simulation};
+pub use sim::{Controller, SimError, Simulation};
 pub use smt::{FetchPolicy, SmtSimulation};
 pub use stats::SimStats;

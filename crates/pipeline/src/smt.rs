@@ -248,8 +248,7 @@ impl SmtSimulation {
         if self.cycles == 0 {
             return 0.0;
         }
-        (self.threads[0].stats.retired + self.threads[1].stats.retired) as f64
-            / self.cycles as f64
+        (self.threads[0].stats.retired + self.threads[1].stats.retired) as f64 / self.cycles as f64
     }
 
     /// Runs for a fixed number of cycles (SMT throughput comparisons
@@ -427,9 +426,7 @@ impl SmtSimulation {
                             .store(addr.expect("store addr") | (ti as u64) << 40);
                         1
                     }
-                    UopKind::Load => self
-                        .mem
-                        .load(addr.expect("load addr") | (ti as u64) << 40),
+                    UopKind::Load => self.mem.load(addr.expect("load addr") | (ti as u64) << 40),
                 };
                 let t = &mut self.threads[ti];
                 let e = &mut t.rob[idx];
@@ -453,7 +450,9 @@ impl SmtSimulation {
         let t = &mut self.threads[ti];
         let mut n = 0;
         while n < width {
-            let Some(head) = t.frontend.front() else { break };
+            let Some(head) = t.frontend.front() else {
+                break;
+            };
             if head.arrival > now || t.rob.len() >= rob_cap {
                 break;
             }
@@ -539,10 +538,7 @@ impl SmtSimulation {
         // Account gated cycles for the thread(s) that were excluded by
         // the gate specifically.
         for ti in 0..2 {
-            if ti != chosen
-                && self.cfg.gating.is_some()
-                && self.threads[ti].gate.should_gate()
-            {
+            if ti != chosen && self.cfg.gating.is_some() && self.threads[ti].gate.should_gate() {
                 self.threads[ti].stats.gated_cycles += 1;
             }
         }
@@ -608,7 +604,8 @@ impl SmtSimulation {
                 t.fetch_history = (t.fetch_history << 1) | u64::from(d.speculated_taken);
                 if let Some(g) = gating {
                     if d.gates() {
-                        t.gate_pending.push_back((now + u64::from(g.ce_latency), seq));
+                        t.gate_pending
+                            .push_back((now + u64::from(g.ce_latency), seq));
                     }
                 }
                 if !wrong && d.speculated_taken != br.taken {
@@ -679,10 +676,8 @@ mod tests {
     fn smt_throughput_beats_half_a_core() {
         // Two threads sharing one core should beat a single thread's
         // IPC on the same core (that is the point of SMT).
-        let mut single = crate::sim::Simulation::with_defaults(
-            PipelineConfig::shallow(),
-            &wl("twolf"),
-        );
+        let mut single =
+            crate::sim::Simulation::with_defaults(PipelineConfig::shallow(), &wl("twolf"));
         single.warmup(30_000);
         let single_ipc = single.run(60_000).ipc();
 
@@ -723,8 +718,7 @@ mod tests {
             SpeculationController::new(
                 Box::new(perconf_bpred::baseline_bimodal_gshare())
                     as Box<dyn perconf_bpred::BranchPredictor>,
-                Box::new(perconf_core::AlwaysHigh)
-                    as Box<dyn perconf_core::ConfidenceEstimator>,
+                Box::new(perconf_core::AlwaysHigh) as Box<dyn perconf_core::ConfidenceEstimator>,
             )
         };
         let mut gated = SmtSimulation::new(

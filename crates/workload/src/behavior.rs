@@ -139,17 +139,12 @@ impl BehaviorSpec {
         match *self {
             BehaviorSpec::Biased { p_taken } => p_taken.min(1.0 - p_taken),
             BehaviorSpec::Loop { mean_trip } => 1.0 / f64::from(mean_trip.max(2)),
-            BehaviorSpec::LinearHistory { noise, .. } | BehaviorSpec::XorHistory { noise } => {
-                noise
-            }
+            BehaviorSpec::LinearHistory { noise, .. } | BehaviorSpec::XorHistory { noise } => noise,
             BehaviorSpec::Random { p_taken } => p_taken.min(1.0 - p_taken),
             BehaviorSpec::Phased {
                 mean_stable,
                 mean_chaotic,
-            } => {
-                0.5 * f64::from(mean_chaotic)
-                    / f64::from(mean_stable + mean_chaotic).max(1.0)
-            }
+            } => 0.5 * f64::from(mean_chaotic) / f64::from(mean_stable + mean_chaotic).max(1.0),
             // A short-history predictor sees only the majority
             // direction of a balanced far-bit function.
             BehaviorSpec::LongHistory { .. } => 0.45,
@@ -353,7 +348,11 @@ impl BranchSite {
             } => {
                 if self.phase_left == 0 {
                     self.chaotic = !self.chaotic;
-                    let mean = if self.chaotic { mean_chaotic } else { mean_stable };
+                    let mean = if self.chaotic {
+                        mean_chaotic
+                    } else {
+                        mean_stable
+                    };
                     // Geometric-ish phase length around the mean.
                     self.phase_left = rng.gen_range(1..=mean.max(1) * 2);
                 }
@@ -410,7 +409,10 @@ mod tests {
         let mut r = rng();
         let mut s = BranchSite::instantiate(
             0,
-            BehaviorSpec::LinearHistory { taps: 5, noise: 0.0 },
+            BehaviorSpec::LinearHistory {
+                taps: 5,
+                noise: 0.0,
+            },
             &mut r,
         );
         for h in [0u64, 0xFFFF, 0xAAAA, 0x1357] {
@@ -439,7 +441,10 @@ mod tests {
         for i in 0..50 {
             let s = BranchSite::instantiate(
                 i,
-                BehaviorSpec::LinearHistory { taps: 5, noise: 0.1 },
+                BehaviorSpec::LinearHistory {
+                    taps: 5,
+                    noise: 0.1,
+                },
                 &mut r,
             );
             assert!(s.taps.iter().all(|&(t, _)| t < MAX_TAP));

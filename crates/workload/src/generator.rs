@@ -171,7 +171,8 @@ impl WorkloadGenerator {
 
     fn next_site(&mut self) -> usize {
         let at_end = self.path_pos == usize::MAX
-            || self.path_pos >= self.program.paths[self.path.min(self.program.paths.len() - 1)].len();
+            || self.path_pos
+                >= self.program.paths[self.path.min(self.program.paths.len() - 1)].len();
         if at_end {
             if self.path_repeats_left > 0 && self.path_pos != usize::MAX {
                 // Loop: run the same path again.
@@ -344,10 +345,7 @@ mod tests {
         let branches = (0..n).filter(|_| g.next_uop().is_branch()).count();
         let frac = branches as f64 / n as f64;
         let target = g.config().branch_frac;
-        assert!(
-            (frac - target).abs() < 0.02,
-            "frac={frac} target={target}"
-        );
+        assert!((frac - target).abs() < 0.02, "frac={frac} target={target}");
     }
 
     #[test]
@@ -427,8 +425,7 @@ mod tests {
     #[test]
     fn wrong_path_branches_use_real_site_pcs() {
         let mut g = gen("mcf");
-        let pcs: std::collections::HashSet<u64> =
-            g.program().sites.iter().map(|s| s.pc).collect();
+        let pcs: std::collections::HashSet<u64> = g.program().sites.iter().map(|s| s.pc).collect();
         let mut seen = 0;
         for _ in 0..5_000 {
             let u = g.next_wrong_path();

@@ -88,9 +88,7 @@ impl BehaviorMix {
             let hard = (0..self.entries.len())
                 .filter(|&i| self.entries[i].1.class().is_hard())
                 .filter(|&i| assigned[i] + m / 2.0 < quota[i])
-                .max_by(|&a, &b| {
-                    (quota[a] - assigned[a]).total_cmp(&(quota[b] - assigned[b]))
-                });
+                .max_by(|&a, &b| (quota[a] - assigned[a]).total_cmp(&(quota[b] - assigned[b])));
             if let Some(i) = hard {
                 assigned[i] += m;
                 out.push(self.entries[i].1);
@@ -259,7 +257,6 @@ impl WorkloadConfig {
 fn mix(entries: Vec<(f64, BehaviorSpec)>) -> BehaviorMix {
     BehaviorMix::new(entries)
 }
-
 
 fn biased(p: f64) -> BehaviorSpec {
     BehaviorSpec::Biased { p_taken: p }
@@ -688,7 +685,11 @@ mod tests {
         let cfgs = spec2000();
         for i in 0..cfgs.len() {
             for j in i + 1..cfgs.len() {
-                assert_ne!(cfgs[i].seed, cfgs[j].seed, "{} vs {}", cfgs[i].name, cfgs[j].name);
+                assert_ne!(
+                    cfgs[i].seed, cfgs[j].seed,
+                    "{} vs {}",
+                    cfgs[i].name, cfgs[j].name
+                );
             }
         }
     }

@@ -40,7 +40,7 @@
 use crate::generator::WorkloadGenerator;
 use crate::uop::{Branch, MemRef, Uop, UopKind};
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 8] = *b"PERCONF1";
@@ -75,7 +75,9 @@ fn kind_from_u8(v: u8) -> io::Result<UopKind> {
 }
 
 fn checksum(bytes: &[u8]) -> u8 {
-    bytes.iter().fold(0x5Au8, |a, &b| a.wrapping_mul(31).wrapping_add(b))
+    bytes
+        .iter()
+        .fold(0x5Au8, |a, &b| a.wrapping_mul(31).wrapping_add(b))
 }
 
 /// Writes uop traces to disk.
@@ -92,10 +94,7 @@ impl TraceWriter<BufWriter<File>> {
     ///
     /// Propagates I/O errors from file creation.
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
-        let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(&MAGIC)?;
-        out.write_all(&0u64.to_le_bytes())?; // record count placeholder
-        Ok(Self { out, written: 0 })
+        Self::new(BufWriter::new(File::create(path)?))
     }
 
     /// Records `n` correct-path uops from `gen` into a new trace file.
@@ -103,27 +102,28 @@ impl TraceWriter<BufWriter<File>> {
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn record<P: AsRef<Path>>(
-        gen: &mut WorkloadGenerator,
-        n: u64,
-        path: P,
-    ) -> io::Result<()> {
-        let path = path.as_ref();
+    pub fn record<P: AsRef<Path>>(gen: &mut WorkloadGenerator, n: u64, path: P) -> io::Result<u64> {
         let mut w = Self::create(path)?;
         for _ in 0..n {
             w.write_uop(&gen.next_uop())?;
         }
-        w.finish()?;
-        // Rewrite the header record count.
-        let mut f = std::fs::OpenOptions::new().write(true).open(path)?;
-        use std::io::Seek;
-        f.seek(io::SeekFrom::Start(8))?;
-        f.write_all(&n.to_le_bytes())?;
-        Ok(())
+        w.finish()
     }
 }
 
 impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on any sink (file, `Cursor`, pipe), writing the
+    /// header with a zero record-count placeholder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&0u64.to_le_bytes())?; // record count placeholder
+        Ok(Self { out, written: 0 })
+    }
+
     /// Appends one uop record.
     ///
     /// # Errors
@@ -154,13 +154,35 @@ impl<W: Write> TraceWriter<W> {
         self.written
     }
 
-    /// Flushes buffered output.
+    /// Flushes buffered output without patching the header. For
+    /// non-seekable sinks (pipes, network streams); the consumer must
+    /// learn the record count out of band, since the header still
+    /// carries the zero placeholder. Returns the final record count.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn finish(mut self) -> io::Result<()> {
-        self.out.flush()
+    pub fn finish_streaming(mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Flushes buffered output and patches the header's record count
+    /// with the number of records actually written. Returns that final
+    /// count. Without this (or [`TraceWriter::finish_streaming`] plus
+    /// out-of-band bookkeeping) the header count stays at the zero
+    /// placeholder and readers see an empty trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.seek(SeekFrom::Start(8))?;
+        self.out.write_all(&self.written.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.written)
     }
 }
 
@@ -169,6 +191,7 @@ impl<W: Write> TraceWriter<W> {
 pub struct TraceReader<R: Read> {
     input: R,
     remaining: u64,
+    total: u64,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -178,7 +201,18 @@ impl TraceReader<BufReader<File>> {
     ///
     /// Fails on I/O errors or if the magic does not match.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
-        let mut input = BufReader::new(File::open(path)?);
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps any byte source positioned at the start of a trace and
+    /// validates its header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or if the magic does not match.
+    pub fn new(mut input: R) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
         if magic != MAGIC {
@@ -189,27 +223,47 @@ impl TraceReader<BufReader<File>> {
         }
         let mut count = [0u8; 8];
         input.read_exact(&mut count)?;
+        let total = u64::from_le_bytes(count);
         Ok(Self {
             input,
-            remaining: u64::from_le_bytes(count),
+            remaining: total,
+            total,
         })
     }
-}
 
-impl<R: Read> TraceReader<R> {
     /// Records left to read.
     #[must_use]
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
 
+    /// Total records the header claims this trace holds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
     fn read_record(&mut self) -> io::Result<Uop> {
+        // 1-based index of the record being read, for error messages.
+        let n = self.total - self.remaining;
+        let total = self.total;
         let mut rec = [0u8; RECORD_BYTES];
-        self.input.read_exact(&mut rec)?;
+        self.input.read_exact(&mut rec).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                // The header promised more records than the file holds:
+                // the trace was cut short, not corrupted in place.
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("trace truncated at record {n} of {total}"),
+                )
+            } else {
+                e
+            }
+        })?;
         if checksum(&rec[..26]) != rec[26] {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "trace record checksum mismatch",
+                format!("trace record {n} of {total}: checksum mismatch (corrupted record)"),
             ));
         }
         let kind = kind_from_u8(rec[0])?;

@@ -8,9 +8,7 @@
 //! ```
 
 use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
-use perconf::core::{
-    ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
-};
+use perconf::core::{ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController};
 use perconf::pipeline::{PipelineConfig, Simulation};
 
 fn main() {

@@ -13,7 +13,11 @@ use perconf::core::{
 use perconf::metrics::{Align, Table};
 use perconf::pipeline::{PipelineConfig, SimStats, Simulation};
 
-fn run(wl: &perconf::workload::WorkloadConfig, cfg: PipelineConfig, lambda: Option<i32>) -> SimStats {
+fn run(
+    wl: &perconf::workload::WorkloadConfig,
+    cfg: PipelineConfig,
+    lambda: Option<i32>,
+) -> SimStats {
     let est: Box<dyn ConfidenceEstimator> = match lambda {
         None => Box::new(AlwaysHigh),
         Some(lambda) => Box::new(PerceptronCe::new(PerceptronCeConfig {
@@ -55,7 +59,10 @@ fn main() {
                 "{:.1}",
                 (1.0 - g.executed_total() as f64 / base.executed_total() as f64) * 100.0
             ),
-            format!("{:.1}", (g.cycles as f64 / base.cycles as f64 - 1.0) * 100.0),
+            format!(
+                "{:.1}",
+                (g.cycles as f64 / base.cycles as f64 - 1.0) * 100.0
+            ),
             format!("{:.1}", g.gated_cycles as f64 * 100.0 / g.cycles as f64),
         ]);
     }

@@ -1,0 +1,78 @@
+//! Fault injection: wrap the paper's predictor and confidence
+//! estimator in seeded single-bit-upset adapters and watch confidence
+//! quality degrade as the fault rate climbs.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+//!
+//! The same seed replays the same faults (same access numbers, same
+//! bit addresses) exactly, and a rate of 0 is a bit-identical
+//! passthrough — so the first row below *is* the fault-free baseline.
+
+use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::core::{ConfidenceEstimator, EstimateCtx, PerceptronCe, PerceptronCeConfig};
+use perconf::faults::{FaultConfig, FaultyEstimator, FaultyPredictor};
+use perconf::metrics::ConfusionMatrix;
+use perconf::workload::{spec2000_config, WorkloadGenerator};
+
+fn evaluate(rate: f64) -> (ConfusionMatrix, u64, u64) {
+    let wl = spec2000_config("gcc").expect("gcc is a known benchmark");
+    let mut gen = WorkloadGenerator::new(&wl);
+
+    // The adapters draw their fault schedule from the seeded config:
+    // each predictor/estimator access may flip one stored state bit
+    // (a persistent SRAM upset, until training overwrites it).
+    let mut predictor =
+        FaultyPredictor::new(baseline_bimodal_gshare(), &FaultConfig::state_only(rate, 1));
+    let mut estimator = FaultyEstimator::new(
+        PerceptronCe::new(PerceptronCeConfig::default()),
+        &FaultConfig::state_only(rate, 2),
+    );
+
+    let mut history = 0u64;
+    let mut cm = ConfusionMatrix::new();
+    let mut seen = 0u64;
+    let warmup = 50_000;
+    while seen < 250_000 {
+        let uop = gen.next_uop();
+        let Some(branch) = uop.branch else { continue };
+        seen += 1;
+
+        let predicted_taken = predictor.predict(branch.pc, history);
+        let ctx = EstimateCtx {
+            pc: branch.pc,
+            history,
+            predicted_taken,
+        };
+        let estimate = estimator.estimate(&ctx);
+        let mispredicted = predicted_taken != branch.taken;
+        if seen > warmup {
+            cm.record(mispredicted, estimate.is_low());
+        }
+        predictor.train(branch.pc, history, branch.taken);
+        estimator.train(&ctx, estimate, mispredicted);
+        history = (history << 1) | u64::from(branch.taken);
+    }
+    (cm, predictor.injected(), estimator.injected())
+}
+
+fn main() {
+    println!("gcc, 200k branches measured; perceptron CE under single-bit upsets\n");
+    println!("fault rate   faults(bp)   faults(ce)   miss%    PVN%   Spec%");
+    println!("-------------------------------------------------------------");
+    for rate in [0.0, 1e-4, 1e-3, 1e-2, 1e-1] {
+        let (cm, fp, fe) = evaluate(rate);
+        println!(
+            "{rate:>9.0e}   {fp:>10}   {fe:>10}   {:>5.2}   {:>5.1}   {:>5.1}",
+            cm.misprediction_rate() * 100.0,
+            cm.pvn() * 100.0,
+            cm.spec() * 100.0,
+        );
+    }
+    println!(
+        "\nPVN falls as upsets wash the trained weights toward noise, while\n\
+         the predictor's big retrained tables barely move the miss rate —\n\
+         the confidence estimator is the fault-sensitive structure."
+    );
+}

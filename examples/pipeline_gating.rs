@@ -16,10 +16,7 @@ use perconf::pipeline::{PipelineConfig, Simulation};
 fn main() {
     let mut args = std::env::args().skip(1);
     let bench = args.next().unwrap_or_else(|| "twolf".to_owned());
-    let lambda: i32 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let lambda: i32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
 
     let wl = perconf::workload::spec2000_config(&bench)
         .unwrap_or_else(|| panic!("unknown benchmark {bench}"));

@@ -54,7 +54,10 @@ fn main() {
 
     // 4. The paper's two metrics.
     println!("branches measured : {}", cm.total());
-    println!("misprediction rate: {:.2}%", cm.misprediction_rate() * 100.0);
+    println!(
+        "misprediction rate: {:.2}%",
+        cm.misprediction_rate() * 100.0
+    );
     println!(
         "PVN (accuracy)    : {:.0}%  — of flagged branches, how many really mispredict",
         cm.pvn() * 100.0

@@ -12,7 +12,10 @@ use perconf::experiments::common::{
 };
 use perconf::metrics::{stats, ConfusionMatrix};
 
-fn run_once(seed_run: u64, mk: &dyn Fn() -> Box<dyn perconf::core::ConfidenceEstimator>) -> ConfusionMatrix {
+fn run_once(
+    seed_run: u64,
+    mk: &dyn Fn() -> Box<dyn perconf::core::ConfidenceEstimator>,
+) -> ConfusionMatrix {
     let mut total = ConfusionMatrix::new();
     for wl in benchmarks() {
         let wl = reseed(&wl, seed_run);
@@ -31,7 +34,10 @@ fn main() {
         .unwrap_or(5);
     println!("Table 3 headline metrics over {seeds} workload seeds\n");
     for (name, mk) in [
-        ("enhanced-JRS λ7", (&|| jrs(7)) as &dyn Fn() -> Box<dyn perconf::core::ConfidenceEstimator>),
+        (
+            "enhanced-JRS λ7",
+            (&|| jrs(7)) as &dyn Fn() -> Box<dyn perconf::core::ConfidenceEstimator>,
+        ),
         ("perceptron λ0", &|| perceptron(0)),
     ] {
         let mut pvns = Vec::new();

@@ -24,8 +24,7 @@ fn plain() -> Controller {
 fn gated() -> Controller {
     SpeculationController::new(
         Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-        Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
-            as Box<dyn ConfidenceEstimator>,
+        Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn ConfidenceEstimator>,
     )
 }
 
@@ -49,17 +48,14 @@ fn main() {
     let mut gate = SmtSimulation::new(
         cfg.gated(1),
         FetchPolicy::RoundRobin,
-        (&a, plain()),  // the quiet thread keeps speculating freely
-        (&b, gated()),  // only the noisy thread is gated
+        (&a, plain()), // the quiet thread keeps speculating freely
+        (&b, gated()), // only the noisy thread is gated
     );
     gate.warmup_cycles(warm);
     gate.run_cycles(run);
 
     println!("SMT: {quiet} (thread 0) + {noisy} (thread 1), 40-cycle core\n");
-    println!(
-        "{:<30} {:>12} {:>14}",
-        "", "baseline", "gated noisy t1"
-    );
+    println!("{:<30} {:>12} {:>14}", "", "baseline", "gated noisy t1");
     let row = |name: &str, x: f64, y: f64| println!("{name:<30} {x:>12.3} {y:>14.3}");
     row(
         &format!("{quiet} retired uops /cycle"),
@@ -82,8 +78,7 @@ fn main() {
         gate.stats(1).gated_cycles,
         gate.stats(1).gated_cycles as f64 * 100.0 / gate.cycles() as f64
     );
-    let gain =
-        gate.stats(0).retired as f64 / base.stats(0).retired as f64 - 1.0;
+    let gain = gate.stats(0).retired as f64 / base.stats(0).retired as f64 - 1.0;
     println!(
         "neighbour throughput change: {:+.1}%  (Luo et al.'s SMT speculation-control effect)",
         gain * 100.0

@@ -8,9 +8,7 @@
 //! cargo run --release --example tage_gating
 //! ```
 
-use perconf::bpred::{
-    baseline_bimodal_gshare, gshare_perceptron, tage_hybrid, BranchPredictor,
-};
+use perconf::bpred::{baseline_bimodal_gshare, gshare_perceptron, tage_hybrid, BranchPredictor};
 use perconf::core::{
     AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
 };
@@ -34,8 +32,10 @@ fn run(
     sim.run(150_000).clone()
 }
 
+type MkPredictor = fn() -> Box<dyn BranchPredictor>;
+
 fn main() {
-    let predictors: [(&str, fn() -> Box<dyn BranchPredictor>); 3] = [
+    let predictors: [(&str, MkPredictor); 3] = [
         ("bimodal-gshare", || Box::new(baseline_bimodal_gshare())),
         ("gshare-perceptron", || Box::new(gshare_perceptron())),
         ("gshare-TAGE", || Box::new(tage_hybrid())),

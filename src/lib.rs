@@ -17,7 +17,11 @@
 //! * [`metrics`] — PVN/Spec confusion metrics, density histograms and
 //!   table rendering;
 //! * [`experiments`] — drivers that regenerate every table and figure
-//!   of the paper's evaluation.
+//!   of the paper's evaluation, plus a panic-isolated, checkpointing
+//!   sweep runner ([`experiments::runner`]);
+//! * [`faults`] — deterministic seeded fault injection: single-bit
+//!   upsets in predictor/estimator state, transient history strikes,
+//!   and trace-record corruption, for the resilience extension.
 //!
 //! # Quickstart
 //!
@@ -39,6 +43,7 @@
 pub use perconf_bpred as bpred;
 pub use perconf_core as core;
 pub use perconf_experiments as experiments;
+pub use perconf_faults as faults;
 pub use perconf_metrics as metrics;
 pub use perconf_pipeline as pipeline;
 pub use perconf_workload as workload;

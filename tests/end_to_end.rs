@@ -10,11 +10,7 @@ use perconf::core::{
 use perconf::pipeline::{PipelineConfig, Simulation};
 use perconf::workload::spec2000_config;
 
-fn sim_with(
-    cfg: PipelineConfig,
-    bench: &str,
-    est: Box<dyn ConfidenceEstimator>,
-) -> Simulation {
+fn sim_with(cfg: PipelineConfig, bench: &str, est: Box<dyn ConfidenceEstimator>) -> Simulation {
     let wl = spec2000_config(bench).unwrap();
     Simulation::new(
         cfg,

@@ -1,130 +1,183 @@
-//! Property-based tests (proptest) over the core data structures and
-//! cross-crate invariants.
+//! Property-style tests over the core data structures and cross-crate
+//! invariants, driven by deterministic seeded sampling (the build
+//! environment has no proptest; a fixed-seed RNG keeps the same
+//! breadth of coverage reproducible).
 
-use perconf::bpred::{Bimodal, BranchPredictor, GlobalHistory, Gshare, ResettingCounter, SatCounter};
+use perconf::bpred::{
+    Bimodal, BranchPredictor, GlobalHistory, Gshare, ResettingCounter, SatCounter,
+};
 use perconf::core::{
     ConfidenceClass, ConfidenceEstimator, EstimateCtx, GateCounter, JrsConfig, JrsEstimator,
     PerceptronCe, PerceptronCeConfig,
 };
 use perconf::metrics::{ConfusionMatrix, Histogram};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn sat_counter_stays_in_range(bits in 1u8..=7, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+fn rng(case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0xC0FF_EE00 ^ case)
+}
+
+#[test]
+fn sat_counter_stays_in_range() {
+    for bits in 1u8..=7 {
+        let mut r = rng(u64::from(bits));
         let mut c = SatCounter::new(bits);
-        for up in ops {
-            c.update(up);
-            prop_assert!(c.value() <= c.max());
+        for _ in 0..200 {
+            c.update(r.gen::<bool>());
+            assert!(c.value() <= c.max());
         }
     }
+}
 
-    #[test]
-    fn sat_counter_converges_to_extreme(bits in 1u8..=7) {
+#[test]
+fn sat_counter_converges_to_extreme() {
+    for bits in 1u8..=7 {
         let mut c = SatCounter::new(bits);
         for _ in 0..200 {
             c.inc();
         }
-        prop_assert_eq!(c.value(), c.max());
-        prop_assert!(c.is_saturated());
+        assert_eq!(c.value(), c.max());
+        assert!(c.is_saturated());
         for _ in 0..200 {
             c.dec();
         }
-        prop_assert_eq!(c.value(), 0);
+        assert_eq!(c.value(), 0);
     }
+}
 
-    #[test]
-    fn resetting_counter_value_equals_streak(bits in 2u8..=7, outcomes in proptest::collection::vec(any::<bool>(), 1..100)) {
+#[test]
+fn resetting_counter_value_equals_streak() {
+    for bits in 2u8..=7 {
+        let mut r = rng(0x5EED ^ u64::from(bits));
         let mut c = ResettingCounter::new(bits);
         let mut streak = 0u32;
-        for correct in outcomes {
-            if correct {
+        for _ in 0..100 {
+            if r.gen::<bool>() {
                 c.correct();
                 streak += 1;
             } else {
                 c.incorrect();
                 streak = 0;
             }
-            prop_assert_eq!(u32::from(c.value()), streak.min(u32::from(c.max())));
+            assert_eq!(u32::from(c.value()), streak.min(u32::from(c.max())));
         }
     }
+}
 
-    #[test]
-    fn global_history_matches_reference(len in 1u32..=64, pushes in proptest::collection::vec(any::<bool>(), 0..100)) {
+#[test]
+fn global_history_matches_reference() {
+    for len in 1u32..=64 {
+        let mut r = rng(0x4157 ^ u64::from(len));
         let mut h = GlobalHistory::new(len);
         let mut reference = 0u128;
-        for taken in pushes {
+        for _ in 0..100 {
+            let taken = r.gen::<bool>();
             h.push(taken);
             reference = (reference << 1) | u128::from(taken);
         }
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
-        prop_assert_eq!(h.snapshot(), (reference as u64) & mask);
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        assert_eq!(h.snapshot(), (reference as u64) & mask);
     }
+}
 
-    #[test]
-    fn gate_counter_never_goes_negative(ops in proptest::collection::vec(any::<bool>(), 0..100), threshold in 1u32..=4) {
+#[test]
+fn gate_counter_never_goes_negative() {
+    for threshold in 1u32..=4 {
+        let mut r = rng(0x6A7E ^ u64::from(threshold));
         let mut g = GateCounter::new(threshold);
         let mut in_flight = 0i64;
-        for fetch in ops {
-            if fetch {
+        for _ in 0..100 {
+            if r.gen::<bool>() {
                 g.on_low_conf_fetch();
                 in_flight += 1;
             } else {
                 g.on_low_conf_resolve();
                 in_flight = (in_flight - 1).max(0);
             }
-            prop_assert_eq!(i64::from(g.count()), in_flight);
-            prop_assert_eq!(g.should_gate(), g.count() >= threshold);
+            assert_eq!(i64::from(g.count()), in_flight);
+            assert_eq!(g.should_gate(), g.count() >= threshold);
         }
     }
+}
 
-    #[test]
-    fn confusion_matrix_metrics_bounded(events in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..300)) {
+#[test]
+fn confusion_matrix_metrics_bounded() {
+    for case in 0..16u64 {
+        let mut r = rng(0xC33 ^ case);
+        let n = r.gen_range(1..300usize);
         let mut cm = ConfusionMatrix::new();
-        for (miss, low) in &events {
-            cm.record(*miss, *low);
+        for _ in 0..n {
+            cm.record(r.gen::<bool>(), r.gen::<bool>());
         }
-        prop_assert_eq!(cm.total(), events.len() as u64);
-        for m in [cm.pvn(), cm.spec(), cm.sens(), cm.pvp(), cm.misprediction_rate()] {
-            prop_assert!((0.0..=1.0).contains(&m));
+        assert_eq!(cm.total(), n as u64);
+        for m in [
+            cm.pvn(),
+            cm.spec(),
+            cm.sens(),
+            cm.pvp(),
+            cm.misprediction_rate(),
+        ] {
+            assert!((0.0..=1.0).contains(&m));
         }
     }
+}
 
-    #[test]
-    fn histogram_conserves_mass(lo in -200i64..0, width in 1u32..=32, samples in proptest::collection::vec(-500i64..500, 0..300)) {
+#[test]
+fn histogram_conserves_mass() {
+    for case in 0..16u64 {
+        let mut r = rng(0x4157_0630 ^ case);
+        let lo = r.gen_range(-200i64..0);
         let hi = lo + 100;
+        let width = r.gen_range(1u32..=32);
+        let n = r.gen_range(0..300usize);
         let mut h = Histogram::new(lo, hi, width);
-        for &s in &samples {
-            h.add(s);
+        for _ in 0..n {
+            h.add(r.gen_range(-500i64..500));
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.count(), n as u64);
         let total: u64 = h.iter().map(|(_, c)| c).sum();
-        prop_assert_eq!(total, samples.len() as u64);
+        assert_eq!(total, n as u64);
     }
+}
 
-    #[test]
-    fn bimodal_predicts_majority_after_training(taken in any::<bool>(), pc in 0u64..100_000) {
+#[test]
+fn bimodal_predicts_majority_after_training() {
+    let mut r = rng(0xB1B0);
+    for _ in 0..32 {
+        let taken = r.gen::<bool>();
+        let pc = r.gen_range(0u64..100_000);
         let mut p = Bimodal::new(12);
         for _ in 0..4 {
             p.train(pc, 0, taken);
         }
-        prop_assert_eq!(p.predict(pc, 0), taken);
+        assert_eq!(p.predict(pc, 0), taken);
     }
+}
 
-    #[test]
-    fn gshare_learns_any_fixed_context(pc in 0u64..100_000, hist in 0u64..4096, taken in any::<bool>()) {
+#[test]
+fn gshare_learns_any_fixed_context() {
+    let mut r = rng(0x65AA);
+    for _ in 0..32 {
+        let pc = r.gen_range(0u64..100_000);
+        let hist = r.gen_range(0u64..4096);
+        let taken = r.gen::<bool>();
         let mut p = Gshare::new(14, 12);
         for _ in 0..4 {
             p.train(pc, hist, taken);
         }
-        prop_assert_eq!(p.predict(pc, hist), taken);
+        assert_eq!(p.predict(pc, hist), taken);
     }
+}
 
-    #[test]
-    fn perceptron_ce_weights_bounded_under_arbitrary_training(
-        updates in proptest::collection::vec((0u64..4096, 0u64..u64::MAX, any::<bool>(), any::<bool>()), 0..400),
-        weight_bits in 2u32..=8,
-    ) {
+#[test]
+fn perceptron_ce_weights_bounded_under_arbitrary_training() {
+    for weight_bits in 2u32..=8 {
+        let mut r = rng(0x93C ^ u64::from(weight_bits));
         let mut ce = PerceptronCe::new(PerceptronCeConfig {
             entries: 8,
             hist_len: 16,
@@ -132,51 +185,68 @@ proptest! {
             ..PerceptronCeConfig::default()
         });
         let bound = 1i64 << (weight_bits - 1);
-        for (pc, hist, pred, miss) in updates {
-            let ctx = EstimateCtx { pc, history: hist, predicted_taken: pred };
+        for _ in 0..400 {
+            let pc = r.gen_range(0u64..4096);
+            let hist = r.gen::<u64>();
+            let ctx = EstimateCtx {
+                pc,
+                history: hist,
+                predicted_taken: r.gen::<bool>(),
+            };
             let est = ce.estimate(&ctx);
-            ce.train(&ctx, est, miss);
+            ce.train(&ctx, est, r.gen::<bool>());
             // The output is the sum of 17 bounded weights.
             let y = i64::from(ce.output(pc, hist));
-            prop_assert!(y.abs() <= 17 * bound);
+            assert!(y.abs() <= 17 * bound);
         }
     }
+}
 
-    #[test]
-    fn jrs_flags_immediately_after_any_miss(
-        pc in 0u64..100_000,
-        hist in 0u64..65_536,
-        pred in any::<bool>(),
-        lambda in 1u8..=15,
-    ) {
-        let mut jrs = JrsEstimator::new(JrsConfig { lambda, ..JrsConfig::default() });
-        let ctx = EstimateCtx { pc, history: hist, predicted_taken: pred };
-        // Regardless of prior state, a miss resets the counter, so the
-        // very next estimate in the same context must be low confidence.
-        let est = jrs.estimate(&ctx);
-        jrs.train(&ctx, est, true);
-        prop_assert!(jrs.estimate(&ctx).is_low());
+#[test]
+fn jrs_flags_immediately_after_any_miss() {
+    for lambda in 1u8..=15 {
+        let mut r = rng(0x1255 ^ u64::from(lambda));
+        for _ in 0..8 {
+            let mut jrs = JrsEstimator::new(JrsConfig {
+                lambda,
+                ..JrsConfig::default()
+            });
+            let ctx = EstimateCtx {
+                pc: r.gen_range(0u64..100_000),
+                history: r.gen_range(0u64..65_536),
+                predicted_taken: r.gen::<bool>(),
+            };
+            // Regardless of prior state, a miss resets the counter, so
+            // the very next estimate in the same context must be low
+            // confidence.
+            let est = jrs.estimate(&ctx);
+            jrs.train(&ctx, est, true);
+            assert!(jrs.estimate(&ctx).is_low());
+        }
     }
+}
 
-    #[test]
-    fn estimate_classes_are_ordered_by_raw_output(y1 in -500i32..500, y2 in -500i32..500) {
-        // For the perceptron CE's classifier: if y1 <= y2 then class
-        // rank (High < WeakLow < StrongLow) must not decrease.
-        let ce = PerceptronCe::new(PerceptronCeConfig::combined());
-        let rank = |y: i32| {
-            // classify via a lookup with forged weights is not public;
-            // instead check using the config thresholds directly.
-            let cfg = ce.config();
-            if cfg.reverse_lambda.is_some_and(|r| y > r) {
-                2
-            } else if y >= cfg.lambda {
-                1
-            } else {
-                0
-            }
-        };
+#[test]
+fn estimate_classes_are_ordered_by_raw_output() {
+    // For the perceptron CE's classifier: if y1 <= y2 then class rank
+    // (High < WeakLow < StrongLow) must not decrease.
+    let ce = PerceptronCe::new(PerceptronCeConfig::combined());
+    let rank = |y: i32| {
+        let cfg = ce.config();
+        if cfg.reverse_lambda.is_some_and(|r| y > r) {
+            2
+        } else if y >= cfg.lambda {
+            1
+        } else {
+            0
+        }
+    };
+    let mut r = rng(0x0D3);
+    for _ in 0..256 {
+        let y1 = r.gen_range(-500i32..500);
+        let y2 = r.gen_range(-500i32..500);
         let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
-        prop_assert!(rank(lo) <= rank(hi));
+        assert!(rank(lo) <= rank(hi));
     }
 }
 

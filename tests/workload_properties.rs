@@ -1,70 +1,67 @@
-//! Property-based tests on the synthetic workload generator: the
-//! invariants the simulator depends on.
+//! Property-style tests on the synthetic workload generator: the
+//! invariants the simulator depends on, checked deterministically
+//! across every benchmark (no proptest in the offline build; the
+//! benchmark list itself is the case generator).
 
-use perconf::workload::{spec2000, spec2000_config, UopKind, WorkloadGenerator};
-use proptest::prelude::*;
+use perconf::workload::{spec2000, spec2000_config, UopKind, WorkloadGenerator, SPEC2000_NAMES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn benchmark_names() -> impl Strategy<Value = String> {
-    proptest::sample::select(
-        perconf::workload::SPEC2000_NAMES
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect::<Vec<_>>(),
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn generator_is_deterministic(name in benchmark_names()) {
-        let cfg = spec2000_config(&name).unwrap();
+#[test]
+fn generator_is_deterministic() {
+    for name in SPEC2000_NAMES {
+        let cfg = spec2000_config(name).unwrap();
         let a: Vec<_> = WorkloadGenerator::new(&cfg).take(2_000).collect();
         let b: Vec<_> = WorkloadGenerator::new(&cfg).take(2_000).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "{name}");
     }
+}
 
-    #[test]
-    fn branch_payloads_are_consistent(name in benchmark_names()) {
-        let cfg = spec2000_config(&name).unwrap();
+#[test]
+fn branch_payloads_are_consistent() {
+    for name in SPEC2000_NAMES {
+        let cfg = spec2000_config(name).unwrap();
         let mut g = WorkloadGenerator::new(&cfg);
         for _ in 0..3_000 {
             let u = g.next_uop();
-            prop_assert_eq!(u.is_branch(), u.kind == UopKind::Branch);
-            prop_assert_eq!(u.mem.is_some(), u.kind.is_mem());
+            assert_eq!(u.is_branch(), u.kind == UopKind::Branch);
+            assert_eq!(u.mem.is_some(), u.kind.is_mem());
             if let Some(b) = u.branch {
-                prop_assert!((b.site as usize) < g.program().sites.len());
-                prop_assert_eq!(g.program().sites[b.site as usize].pc, b.pc);
+                assert!((b.site as usize) < g.program().sites.len());
+                assert_eq!(g.program().sites[b.site as usize].pc, b.pc);
             }
         }
     }
+}
 
-    #[test]
-    fn wrong_path_stream_is_well_formed(name in benchmark_names()) {
-        let cfg = spec2000_config(&name).unwrap();
+#[test]
+fn wrong_path_stream_is_well_formed() {
+    for name in SPEC2000_NAMES {
+        let cfg = spec2000_config(name).unwrap();
         let mut g = WorkloadGenerator::new(&cfg);
         for _ in 0..2_000 {
             let u = g.next_wrong_path();
-            prop_assert_eq!(u.mem.is_some(), u.kind.is_mem());
+            assert_eq!(u.mem.is_some(), u.kind.is_mem());
             if let Some(m) = u.mem {
-                prop_assert!(m.addr < cfg.working_set.max(64));
+                assert!(m.addr < cfg.working_set.max(64));
             }
         }
     }
+}
 
-    #[test]
-    fn interleaved_wrong_path_never_perturbs_correct_path(
-        name in benchmark_names(),
-        pattern in proptest::collection::vec(0u8..5, 50..200),
-    ) {
-        let cfg = spec2000_config(&name).unwrap();
+#[test]
+fn interleaved_wrong_path_never_perturbs_correct_path() {
+    for (i, name) in SPEC2000_NAMES.iter().enumerate() {
+        let cfg = spec2000_config(name).unwrap();
+        let mut pattern_rng = SmallRng::seed_from_u64(0x77A0 ^ i as u64);
         let mut clean = WorkloadGenerator::new(&cfg);
         let mut dirty = WorkloadGenerator::new(&cfg);
-        for wp_count in pattern {
+        for _ in 0..150 {
+            let wp_count = pattern_rng.gen_range(0u8..5);
             for _ in 0..wp_count {
                 let _ = dirty.next_wrong_path();
             }
-            prop_assert_eq!(clean.next_uop(), dirty.next_uop());
+            assert_eq!(clean.next_uop(), dirty.next_uop(), "{name}");
         }
     }
 }

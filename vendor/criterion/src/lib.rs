@@ -1,0 +1,226 @@
+//! Offline vendored mini benchmark harness exposing the subset of the
+//! `criterion` 0.5 API this workspace uses.
+//!
+//! Runs each benchmark a small, fixed number of iterations and prints
+//! mean wall-clock time per iteration. It is a smoke harness — enough
+//! to keep `cargo bench` compiling and producing sane numbers offline,
+//! not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes processed per iteration in decimal units.
+    BytesDecimal(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. Ignored by this
+/// vendored harness.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count. Accepted for API compatibility; the
+    /// vendored harness uses a fixed iteration budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time. Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time. Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // One warm-up pass, then a short measured run.
+        let mut warm = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+        let iters = if warm.elapsed > Duration::from_millis(100) {
+            1
+        } else {
+            5
+        };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if per_iter > 0.0 => {
+                format!("  ({:.3} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {:.3} ms/iter over {iters} iters{rate}",
+            self.name,
+            per_iter * 1e3
+        );
+        self
+    }
+
+    /// Ends the group. No-op in the vendored harness.
+    pub fn finish(self) {}
+}
+
+/// Benchmark manager mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a benchmark group with the given name.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark outside a group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: String::from("bench"),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!` (simple form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut ran = 0u32;
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(4));
+        g.bench_function("inc", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        let mut total = 0u64;
+        b.iter_batched(|| 7u64, |v| total += v, BatchSize::SmallInput);
+        assert_eq!(total, 21);
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `serde` to this crate. Instead of the real
+//! serde's visitor-based architecture, this vendored version uses a
+//! simple value-tree data model: [`Serialize`] renders a type into a
+//! [`Value`], [`Deserialize`] reconstructs a type from one, and the
+//! companion vendored `serde_json` converts values to and from JSON
+//! text. The `#[derive(Serialize, Deserialize)]` macros (from the
+//! vendored `serde_derive`) generate impls for named-field structs,
+//! unit enums and struct-variant enums — the shapes this workspace
+//! uses.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::PathBuf;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialisation data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i128` if it is any integer representation
+    /// (including an integral float, which JSON round-trips produce).
+    #[must_use]
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(i128::from(*i)),
+            Value::UInt(u) => Some(i128::from(*u)),
+            #[allow(clippy::cast_possible_truncation)]
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Some(*f as i128),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is numeric.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from anything printable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Self(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs from the value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or range mismatches.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Marker matching serde's `DeserializeOwned` (this vendored model has
+/// no borrowed deserialisation, so every `Deserialize` qualifies).
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Re-exports mirroring `serde::de`.
+pub mod de {
+    pub use super::{DeError, Deserialize, DeserializeOwned};
+}
+
+/// Re-exports mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Derive-macro helper: extracts and deserialises object field `name`.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the field is missing or has the wrong shape.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(fv) => T::from_value(fv)
+            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Err(DeError(format!("missing field `{name}`"))),
+    }
+}
+
+// ----- primitive impls ---------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(clippy::cast_lossless, clippy::cast_possible_wrap)]
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_int().ok_or_else(|| {
+                    DeError(format!("expected integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(i).map_err(|_| DeError(format!("integer {i} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_ser_uint64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_int().ok_or_else(|| {
+                    DeError(format!("expected integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(i).map_err(|_| DeError(format!("integer {i} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_ser_uint64!(u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.display().to_string())
+    }
+}
+
+impl Deserialize for PathBuf {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(PathBuf::from(String::from_value(v)?))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ----- container impls ---------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$($idx),+].len();
+                        if items.len() != expect {
+                            return Err(DeError(format!(
+                                "expected {expect}-tuple, got {} items", items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError(format!("expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, fv)| Ok((k.clone(), V::from_value(fv)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, fv)| Ok((k.clone(), V::from_value(fv)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_none_is_null_and_back() {
+        let v = Option::<u32>::None.to_value();
+        assert_eq!(v, Value::Null);
+        assert_eq!(Option::<u32>::from_value(&v).unwrap(), None);
+    }
+
+    #[test]
+    fn ints_round_trip_through_values() {
+        for x in [0i64, -5, i64::MAX, i64::MIN] {
+            assert_eq!(i64::from_value(&x.to_value()).unwrap(), x);
+        }
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn out_of_range_int_errors() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = (1u32, 2.5f64, true).to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::Bool(true)])
+        );
+        let back: (u32, f64, bool) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1, 2.5, true));
+    }
+
+    #[test]
+    fn integral_float_deserialises_as_int() {
+        // JSON round-trips may render 3.0 where an int is expected.
+        assert_eq!(u32::from_value(&Value::Float(3.0)).unwrap(), 3);
+        assert!(u32::from_value(&Value::Float(3.5)).is_err());
+    }
+}
