@@ -1,6 +1,8 @@
 use crate::counter::SatCounter;
 use crate::faultable::FaultableState;
+use crate::snapshot::{Snapshot, StateDigest};
 use crate::traits::BranchPredictor;
+use serde::{Deserialize, Serialize};
 
 /// Classic per-PC 2-bit-counter ("bimodal") predictor (Smith 1981).
 ///
@@ -15,7 +17,7 @@ use crate::traits::BranchPredictor;
 /// }
 /// assert!(!p.predict(0x1234, 0));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Bimodal {
     table: Vec<SatCounter>,
     index_bits: u32,
@@ -76,6 +78,19 @@ impl FaultableState for Bimodal {
     fn flip_state_bit(&mut self, bit: u64) {
         let bit = bit % self.state_bits();
         self.table[(bit / 2) as usize].flip_state_bit(bit % 2);
+    }
+}
+
+impl Snapshot for Bimodal {
+    crate::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.index_bits));
+        for c in &self.table {
+            d.byte(c.value());
+        }
+        d.finish()
     }
 }
 

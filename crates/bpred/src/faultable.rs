@@ -35,10 +35,12 @@ impl<F: FaultableState + ?Sized> FaultableState for Box<F> {
 
 /// A branch predictor whose state can be fault-injected. Blanket
 /// implemented; exists so callers can hold one trait object
-/// (`Box<dyn FaultablePredictor>`) giving both capabilities.
-pub trait FaultablePredictor: BranchPredictor + FaultableState {}
+/// (`Box<dyn FaultablePredictor>`) giving all three capabilities.
+/// [`Snapshot`](crate::Snapshot) is a supertrait so fault-injected
+/// runs can be checkpointed and resumed like clean ones.
+pub trait FaultablePredictor: BranchPredictor + FaultableState + crate::Snapshot {}
 
-impl<T: BranchPredictor + FaultableState> FaultablePredictor for T {}
+impl<T: BranchPredictor + FaultableState + crate::Snapshot> FaultablePredictor for T {}
 
 #[cfg(test)]
 mod tests {

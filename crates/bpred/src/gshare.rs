@@ -1,6 +1,8 @@
 use crate::counter::SatCounter;
 use crate::faultable::FaultableState;
+use crate::snapshot::{Snapshot, StateDigest};
 use crate::traits::BranchPredictor;
+use serde::{Deserialize, Serialize};
 
 /// McFarling's gshare predictor: 2-bit counters indexed by
 /// `PC XOR global-history`.
@@ -19,7 +21,7 @@ use crate::traits::BranchPredictor;
 /// assert!(p.predict(0x40, 0b1));
 /// assert!(!p.predict(0x40, 0b0));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Gshare {
     table: Vec<SatCounter>,
     index_bits: u32,
@@ -89,6 +91,20 @@ impl FaultableState for Gshare {
     fn flip_state_bit(&mut self, bit: u64) {
         let bit = bit % self.state_bits();
         self.table[(bit / 2) as usize].flip_state_bit(bit % 2);
+    }
+}
+
+impl Snapshot for Gshare {
+    crate::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.index_bits))
+            .word(u64::from(self.hist_bits));
+        for c in &self.table {
+            d.byte(c.value());
+        }
+        d.finish()
     }
 }
 

@@ -1,6 +1,8 @@
 use crate::counter::SatCounter;
 use crate::faultable::FaultableState;
+use crate::snapshot::{Snapshot, SnapshotError, StateDigest};
 use crate::traits::BranchPredictor;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// McFarling combining predictor: two component predictors plus a
 /// meta ("chooser") table of 2-bit counters indexed by PC.
@@ -117,6 +119,57 @@ impl<A: FaultableState, B: FaultableState> FaultableState for Hybrid<A, B> {
         }
         bit -= self.b.state_bits();
         self.meta[(bit / 2) as usize].flip_state_bit(bit % 2);
+    }
+}
+
+// The vendored serde derive does not handle generic types, so the
+// serialisation impls are written by hand. Field names match what a
+// derive would have produced.
+impl<A: Serialize, B: Serialize> Serialize for Hybrid<A, B> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("a".into(), self.a.to_value()),
+            ("b".into(), self.b.to_value()),
+            ("meta".into(), self.meta.to_value()),
+            ("meta_bits".into(), self.meta_bits.to_value()),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for Hybrid<A, B> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            a: serde::field(v, "a")?,
+            b: serde::field(v, "b")?,
+            meta: serde::field(v, "meta")?,
+            meta_bits: serde::field(v, "meta_bits")?,
+        })
+    }
+}
+
+impl<A, B> Snapshot for Hybrid<A, B>
+where
+    A: Snapshot + Serialize + Deserialize,
+    B: Snapshot + Serialize + Deserialize,
+{
+    fn save_state(&self) -> Value {
+        self.to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        *self = Self::from_value(state).map_err(SnapshotError::from_de)?;
+        Ok(())
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(self.a.state_digest())
+            .word(self.b.state_digest())
+            .word(u64::from(self.meta_bits));
+        for c in &self.meta {
+            d.byte(c.value());
+        }
+        d.finish()
     }
 }
 

@@ -49,6 +49,7 @@ mod history;
 mod hybrid;
 mod pas;
 mod perceptron;
+mod snapshot;
 mod tage;
 mod traits;
 
@@ -60,6 +61,7 @@ pub use history::GlobalHistory;
 pub use hybrid::Hybrid;
 pub use pas::PasPredictor;
 pub use perceptron::{flip_weight_bit, perceptron_theta, PerceptronPredictor};
+pub use snapshot::{digest_value, SimPredictor, Snapshot, SnapshotError, StateDigest};
 pub use tage::Tage;
 pub use traits::BranchPredictor;
 

@@ -1,6 +1,8 @@
 use crate::counter::SatCounter;
 use crate::faultable::FaultableState;
+use crate::snapshot::{Snapshot, StateDigest};
 use crate::traits::BranchPredictor;
+use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 
 /// Two-level per-address (PAs) predictor: a table of per-branch local
@@ -25,7 +27,7 @@ use std::cell::Cell;
 /// assert!(p.predict(0x40, 0));
 /// assert_eq!(p.pattern(0x40), 0xFF); // local history saturated at "all taken"
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PasPredictor {
     local_hist: Vec<u16>,
     pattern_table: Vec<SatCounter>,
@@ -134,6 +136,26 @@ impl FaultableState for PasPredictor {
         }
         bit -= hist_region;
         self.pattern_table[(bit / 2) as usize].flip_state_bit(bit % 2);
+    }
+}
+
+impl Snapshot for PasPredictor {
+    crate::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.bht_bits))
+            .word(u64::from(self.hist_bits));
+        for &h in &self.local_hist {
+            d.word(u64::from(h));
+        }
+        for c in &self.pattern_table {
+            d.byte(c.value());
+        }
+        // last_pattern is observable through last_pattern(), so it is
+        // part of the replayable state.
+        d.word(u64::from(self.last_pattern.get()));
+        d.finish()
     }
 }
 

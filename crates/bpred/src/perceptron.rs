@@ -1,5 +1,7 @@
 use crate::faultable::FaultableState;
+use crate::snapshot::{Snapshot, StateDigest};
 use crate::traits::BranchPredictor;
+use serde::{Deserialize, Serialize};
 
 /// Jimenez–Lin training threshold: θ = ⌊1.93·h + 14⌋ for history
 /// length `h`, the empirically optimal value from their HPCA 2001
@@ -43,7 +45,7 @@ pub fn perceptron_theta(hist_len: u32) -> i32 {
 /// assert!(p.predict(0x40, 0b100));
 /// assert!(!p.predict(0x40, 0b000));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerceptronPredictor {
     weights: Vec<i32>,
     entries: u32,
@@ -180,6 +182,20 @@ impl FaultableState for PerceptronPredictor {
         let idx = (bit / u64::from(width)) as usize;
         let b = (bit % u64::from(width)) as u32;
         self.weights[idx] = flip_weight_bit(self.weights[idx], width, b);
+    }
+}
+
+impl Snapshot for PerceptronPredictor {
+    crate::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.entries))
+            .word(u64::from(self.hist_len));
+        for &w in &self.weights {
+            d.signed(i64::from(w));
+        }
+        d.finish()
     }
 }
 

@@ -1,6 +1,8 @@
 use crate::counter::SatCounter;
 use crate::faultable::FaultableState;
+use crate::snapshot::{Snapshot, StateDigest};
 use crate::traits::BranchPredictor;
+use serde::{Deserialize, Serialize};
 
 /// A TAGE branch predictor (Seznec & Michaud, "A case for (partially)
 /// TAgged GEometric history length branch predictors", JILP 2006).
@@ -29,7 +31,7 @@ use crate::traits::BranchPredictor;
 /// }
 /// assert!(t.predict(0x40, 0b1011));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tage {
     base: Vec<SatCounter>,
     base_bits: u32,
@@ -40,7 +42,7 @@ pub struct Tage {
     tick: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct TaggedTable {
     entries: Vec<TageEntry>,
     index_bits: u32,
@@ -48,7 +50,7 @@ struct TaggedTable {
     hist_len: u32,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct TageEntry {
     tag: u16,
     ctr: SatCounter,
@@ -346,6 +348,28 @@ impl FaultableState for Tage {
             }
             return;
         }
+    }
+}
+
+impl Snapshot for Tage {
+    crate::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.base_bits));
+        for c in &self.base {
+            d.byte(c.value());
+        }
+        for t in &self.tables {
+            d.word(u64::from(t.hist_len));
+            for e in &t.entries {
+                d.word(u64::from(e.tag))
+                    .byte(e.ctr.value())
+                    .byte(e.useful.value());
+            }
+        }
+        d.byte(self.use_alt.value()).word(self.tick);
+        d.finish()
     }
 }
 

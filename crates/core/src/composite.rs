@@ -1,7 +1,9 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
+use perconf_bpred::{Snapshot, SnapshotError, StateDigest};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How a [`CompositeCe`] merges its two components' classifications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CombineRule {
     /// Flag low confidence only when **both** components do —
     /// trades coverage for accuracy (higher PVN, lower Spec).
@@ -108,6 +110,54 @@ impl<A: ConfidenceEstimator, B: ConfidenceEstimator> ConfidenceEstimator for Com
 
     fn storage_bits(&self) -> u64 {
         self.a.storage_bits() + self.b.storage_bits()
+    }
+}
+
+// The vendored serde derive does not handle generic types, so the
+// composite's serialization is written by hand.
+impl<A: Serialize, B: Serialize> Serialize for CompositeCe<A, B> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("a".into(), self.a.to_value()),
+            ("b".into(), self.b.to_value()),
+            ("rule".into(), self.rule.to_value()),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for CompositeCe<A, B> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            a: serde::field(v, "a")?,
+            b: serde::field(v, "b")?,
+            rule: serde::field(v, "rule")?,
+        })
+    }
+}
+
+impl<A, B> Snapshot for CompositeCe<A, B>
+where
+    A: Snapshot + Serialize + Deserialize,
+    B: Snapshot + Serialize + Deserialize,
+{
+    fn save_state(&self) -> Value {
+        self.to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        *self = Self::from_value(state).map_err(SnapshotError::from_de)?;
+        Ok(())
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(self.a.state_digest())
+            .word(self.b.state_digest())
+            .byte(match self.rule {
+                CombineRule::Both => 0,
+                CombineRule::Either => 1,
+            });
+        d.finish()
     }
 }
 

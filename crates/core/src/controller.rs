@@ -1,6 +1,6 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::BranchPredictor;
-use serde::{Deserialize, Serialize};
+use perconf_bpred::{BranchPredictor, Snapshot, SnapshotError, StateDigest};
+use serde::{Deserialize, Serialize, Value};
 
 /// The front-end decision for one fetched branch: the (possibly
 /// reversed) direction the pipeline will speculate down, plus
@@ -134,6 +134,44 @@ impl<P: BranchPredictor, C: ConfidenceEstimator> SpeculationController<P, C> {
             base_mispredicted,
             speculated_mispredicted,
         }
+    }
+}
+
+/// Snapshotting delegates to the two components rather than
+/// serializing the whole struct: the controller is routinely
+/// instantiated over boxed trait objects (`Box<dyn SimPredictor>`),
+/// which cannot be rebuilt from a value tree — but an existing
+/// instance can restore each component in place.
+impl<P: Snapshot, C: Snapshot> Snapshot for SpeculationController<P, C> {
+    fn save_state(&self) -> Value {
+        Value::Object(vec![
+            ("predictor".into(), self.predictor.save_state()),
+            ("estimator".into(), self.estimator.save_state()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        let get = |name: &str| {
+            if let Value::Object(fields) = state {
+                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+            } else {
+                None
+            }
+        };
+        let p = get("predictor")
+            .ok_or_else(|| SnapshotError::msg("controller snapshot missing `predictor`"))?;
+        let e = get("estimator")
+            .ok_or_else(|| SnapshotError::msg("controller snapshot missing `estimator`"))?;
+        self.predictor.restore_state(p)?;
+        self.estimator.restore_state(e)?;
+        Ok(())
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(self.predictor.state_digest())
+            .word(self.estimator.state_digest());
+        d.finish()
     }
 }
 

@@ -96,6 +96,13 @@ impl<C: ConfidenceEstimator + ?Sized> ConfidenceEstimator for Box<C> {
     }
 }
 
+/// A confidence estimator that can also be checkpointed. Blanket
+/// implemented; exists so callers can hold one trait object
+/// (`Box<dyn SimEstimator>`) giving both capabilities.
+pub trait SimEstimator: ConfidenceEstimator + perconf_bpred::Snapshot {}
+
+impl<T: ConfidenceEstimator + perconf_bpred::Snapshot> SimEstimator for T {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,12 +1,14 @@
 use crate::estimate::ConfidenceEstimator;
-use perconf_bpred::FaultableState;
+use perconf_bpred::{FaultableState, Snapshot};
 
 /// A confidence estimator whose state can be fault-injected. Blanket
 /// implemented; exists so callers can hold one trait object
-/// (`Box<dyn FaultableEstimator>`) giving both capabilities.
-pub trait FaultableEstimator: ConfidenceEstimator + FaultableState {}
+/// (`Box<dyn FaultableEstimator>`) giving all three capabilities.
+/// [`Snapshot`] is a supertrait so fault-injected runs can be
+/// checkpointed and resumed like clean ones.
+pub trait FaultableEstimator: ConfidenceEstimator + FaultableState + Snapshot {}
 
-impl<T: ConfidenceEstimator + FaultableState> FaultableEstimator for T {}
+impl<T: ConfidenceEstimator + FaultableState + Snapshot> FaultableEstimator for T {}
 
 #[cfg(test)]
 mod tests {

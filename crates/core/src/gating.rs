@@ -1,3 +1,4 @@
+use perconf_bpred::{Snapshot, StateDigest};
 use serde::{Deserialize, Serialize};
 
 /// The low-confidence branch counter at the heart of pipeline gating
@@ -84,6 +85,17 @@ impl GateCounter {
     /// Clears the counter (used on full pipeline squash).
     pub fn reset(&mut self) {
         self.count = 0;
+    }
+}
+
+impl Snapshot for GateCounter {
+    perconf_bpred::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.count))
+            .word(u64::from(self.threshold));
+        d.finish()
     }
 }
 

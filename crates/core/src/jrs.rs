@@ -1,6 +1,6 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::{FaultableState, ResettingCounter, SatCounter};
-use serde::{Deserialize, Serialize};
+use perconf_bpred::{FaultableState, ResettingCounter, SatCounter, Snapshot, StateDigest};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How a JRS table entry reacts to a misprediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -55,6 +55,37 @@ enum CounterTable {
     Saturating(Vec<SatCounter>),
 }
 
+// Tuple variants are outside the vendored serde derive's supported
+// shapes, so the impls are written by hand using the same externally
+// tagged layout a derive would produce for struct variants.
+impl Serialize for CounterTable {
+    fn to_value(&self) -> Value {
+        let (tag, inner) = match self {
+            CounterTable::Resetting(t) => ("Resetting", t.to_value()),
+            CounterTable::Saturating(t) => ("Saturating", t.to_value()),
+        };
+        Value::Object(vec![(tag.into(), inner)])
+    }
+}
+
+impl Deserialize for CounterTable {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) if fields.len() == 1 => {
+                let (tag, inner) = &fields[0];
+                match tag.as_str() {
+                    "Resetting" => Ok(CounterTable::Resetting(Vec::from_value(inner)?)),
+                    "Saturating" => Ok(CounterTable::Saturating(Vec::from_value(inner)?)),
+                    other => Err(DeError(format!(
+                        "unknown variant `{other}` of CounterTable"
+                    ))),
+                }
+            }
+            _ => Err(DeError("expected variant of CounterTable".into())),
+        }
+    }
+}
+
 /// The JRS miss-distance-counter confidence estimator (Jacobson,
 /// Rotenberg & Smith, MICRO 1998), including the *enhanced* variant of
 /// Grunwald et al. that folds the predicted direction into the index.
@@ -81,7 +112,7 @@ enum CounterTable {
 /// }
 /// assert!(!jrs.estimate(&ctx).is_low());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JrsEstimator {
     table: CounterTable,
     cfg: JrsConfig,
@@ -155,6 +186,30 @@ impl FaultableState for JrsEstimator {
             CounterTable::Resetting(t) => t[idx].flip_state_bit(b),
             CounterTable::Saturating(t) => t[idx].flip_state_bit(b),
         }
+    }
+}
+
+impl Snapshot for JrsEstimator {
+    perconf_bpred::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.cfg.index_bits));
+        match &self.table {
+            CounterTable::Resetting(t) => {
+                d.byte(0);
+                for c in t {
+                    d.byte(c.value());
+                }
+            }
+            CounterTable::Saturating(t) => {
+                d.byte(1);
+                for c in t {
+                    d.byte(c.value());
+                }
+            }
+        }
+        d.finish()
     }
 }
 

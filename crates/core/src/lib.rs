@@ -62,7 +62,7 @@ mod tyson;
 
 pub use composite::{CombineRule, CompositeCe};
 pub use controller::{BranchDecision, SpeculationController, TrainOutcome};
-pub use estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
+pub use estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx, SimEstimator};
 pub use faultable::FaultableEstimator;
 pub use gating::GateCounter;
 pub use jrs::{JrsConfig, JrsEstimator, MissPolicy};
@@ -83,6 +83,22 @@ impl perconf_bpred::FaultableState for AlwaysHigh {
     }
 
     fn flip_state_bit(&mut self, _bit: u64) {}
+}
+
+impl perconf_bpred::Snapshot for AlwaysHigh {
+    fn save_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), perconf_bpred::SnapshotError> {
+        Ok(())
+    }
+
+    fn state_digest(&self) -> u64 {
+        // Stateless: any fixed value works; distinct from the empty
+        // FNV basis so an AlwaysHigh slot is visible in parent digests.
+        0x416c_7761_7973_4869 // "AlwaysHi"
+    }
 }
 
 impl ConfidenceEstimator for AlwaysHigh {

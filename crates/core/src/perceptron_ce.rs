@@ -1,5 +1,5 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::{flip_weight_bit, FaultableState};
+use perconf_bpred::{flip_weight_bit, FaultableState, Snapshot, StateDigest};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the paper's perceptron confidence estimator.
@@ -114,7 +114,7 @@ impl PerceptronCeConfig {
 /// }
 /// assert!(ce.estimate(&ctx).is_low());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerceptronCe {
     weights: Vec<i32>,
     cfg: PerceptronCeConfig,
@@ -206,6 +206,20 @@ impl FaultableState for PerceptronCe {
         let idx = (bit / w) as usize;
         self.weights[idx] =
             flip_weight_bit(self.weights[idx], self.cfg.weight_bits, (bit % w) as u32);
+    }
+}
+
+impl Snapshot for PerceptronCe {
+    perconf_bpred::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.cfg.entries))
+            .word(u64::from(self.cfg.hist_len));
+        for &w in &self.weights {
+            d.signed(i64::from(w));
+        }
+        d.finish()
     }
 }
 

@@ -1,5 +1,6 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::{FaultableState, SatCounter};
+use perconf_bpred::{FaultableState, SatCounter, Snapshot, StateDigest};
+use serde::{Deserialize, Serialize};
 
 /// Smith's counter-based confidence scheme (1981, as evaluated by
 /// Grunwald et al.): a branch is high confidence only when its
@@ -24,7 +25,7 @@ use perconf_bpred::{FaultableState, SatCounter};
 /// }
 /// assert!(!ce.estimate(&ctx).is_low());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SmithCe {
     table: Vec<SatCounter>,
     index_bits: u32,
@@ -63,6 +64,19 @@ impl FaultableState for SmithCe {
         let bit = bit % self.state_bits();
         let w = u64::from(self.counter_bits);
         self.table[(bit / w) as usize].flip_state_bit(bit % w);
+    }
+}
+
+impl Snapshot for SmithCe {
+    perconf_bpred::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.index_bits)).byte(self.counter_bits);
+        for c in &self.table {
+            d.byte(c.value());
+        }
+        d.finish()
     }
 }
 

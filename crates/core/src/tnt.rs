@@ -1,5 +1,5 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
-use perconf_bpred::{BranchPredictor, FaultableState, PerceptronPredictor};
+use perconf_bpred::{BranchPredictor, FaultableState, PerceptronPredictor, Snapshot, StateDigest};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of [`PerceptronTnt`].
@@ -49,7 +49,7 @@ impl Default for PerceptronTntConfig {
 /// let ctx = EstimateCtx { pc: 0x40, history: 0, predicted_taken: true };
 /// assert!(ce.estimate(&ctx).is_low()); // untrained: |y| = 0 <= λ
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerceptronTnt {
     predictor: PerceptronPredictor,
     cfg: PerceptronTntConfig,
@@ -90,6 +90,17 @@ impl FaultableState for PerceptronTnt {
 
     fn flip_state_bit(&mut self, bit: u64) {
         self.predictor.flip_state_bit(bit);
+    }
+}
+
+impl Snapshot for PerceptronTnt {
+    perconf_bpred::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(self.predictor.state_digest())
+            .signed(i64::from(self.cfg.lambda));
+        d.finish()
     }
 }
 

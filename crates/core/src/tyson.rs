@@ -1,4 +1,6 @@
 use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCtx};
+use perconf_bpred::{Snapshot, StateDigest};
+use serde::{Deserialize, Serialize};
 
 /// Tyson, Lick & Farrens' pattern-history confidence estimator: keep a
 /// per-branch local history register and flag **high confidence** only
@@ -22,7 +24,7 @@ use crate::estimate::{ConfidenceClass, ConfidenceEstimator, Estimate, EstimateCt
 /// }
 /// assert!(!ce.estimate(&ctx).is_low()); // "all taken" pattern
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TysonCe {
     local_hist: Vec<u16>,
     index_bits: u32,
@@ -59,6 +61,20 @@ impl TysonCe {
     #[must_use]
     pub fn pattern(&self, pc: u64) -> u16 {
         self.local_hist[self.index(pc)]
+    }
+}
+
+impl Snapshot for TysonCe {
+    perconf_bpred::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(u64::from(self.index_bits))
+            .word(u64::from(self.hist_bits));
+        for &h in &self.local_hist {
+            d.word(u64::from(h));
+        }
+        d.finish()
     }
 }
 

@@ -3,19 +3,33 @@
 //! ```text
 //! repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]
 //!                    [--resume <dir>] [--seed <u64>]
+//! repro verify [--bench <name>] [--full | --tiny]
+//!              [--trace <file> [--tolerant]]
 //!
 //! experiments: table2 table3 table4 table5 table6
-//!              fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults all
+//!              fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults
+//!              verify all
 //! ```
 //!
 //! `--resume <dir>` checkpoints every sweep cell into `<dir>` and, on
 //! a rerun, loads finished cells instead of recomputing them — only
-//! failed or missing cells execute. `--seed` sets the fault-injection
-//! campaign seed (default 42).
+//! failed or missing cells execute; cells with a mid-run partial
+//! checkpoint continue from it instead of from scratch. `--seed` sets
+//! the fault-injection campaign seed (default 42).
+//!
+//! `verify` is the determinism self-check: a clean lockstep run of two
+//! identical machines must stay digest-identical, a snapshot written
+//! through the checksummed container and restored into a fresh machine
+//! must replay identically, and an injected single-bit fault *must* be
+//! reported as a divergence with the cycle it first appeared at. With
+//! `--trace` it also integrity-scans an on-disk uop trace (add
+//! `--tolerant` to skip corrupt records, resync and count them instead
+//! of aborting).
 
 use perconf_experiments::runner::{Runner, RunnerConfig};
 use perconf_experiments::{
-    energy, faults, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
+    common, energy, faults, fig89, figs, latency, table2, table3, table4, table5, table6, verify,
+    Scale,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +41,9 @@ struct Args {
     csv_dir: Option<PathBuf>,
     resume_dir: Option<PathBuf>,
     seed: u64,
+    bench: String,
+    trace: Option<PathBuf>,
+    tolerant: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut resume_dir = None;
     let mut seed = 42;
+    let mut bench = "gcc".to_owned();
+    let mut trace = None;
+    let mut tolerant = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -59,6 +79,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--bench" => {
+                bench = it.next().ok_or("--bench needs a benchmark name")?;
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
+            }
+            "--tolerant" => tolerant = true,
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -75,7 +102,70 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         resume_dir,
         seed,
+        bench,
+        trace,
+        tolerant,
     })
+}
+
+/// The `verify` experiment: determinism, replay and fault-divergence
+/// self-checks. Fails (returns `Err`) when a clean probe diverges or
+/// the injected-fault probe does *not*.
+fn run_verify(args: &Args) -> Result<(), String> {
+    let wl = perconf_workload::spec2000_config(&args.bench)
+        .ok_or_else(|| format!("unknown benchmark {}", args.bench))?;
+    let cfg = perconf_pipeline::PipelineConfig::deep().gated(1);
+    let mk = || common::controller(common::PredictorKind::BimodalGshare, common::perceptron(14));
+    let scale = args.scale;
+    let interval = (scale.run_uops / 8).max(1);
+
+    let clean = verify::lockstep(&wl, cfg, mk, scale, interval, None)
+        .map_err(|e| format!("lockstep probe failed: {e}"))?;
+    println!("{}", clean.render());
+
+    let snap = std::env::temp_dir().join(format!("repro-verify-{}.psnap", std::process::id()));
+    let replayed = verify::replay(&wl, cfg, mk, scale, scale.run_uops / 3, interval, &snap)
+        .map_err(|e| format!("replay probe failed: {e}"))?;
+    let _ = std::fs::remove_file(&snap);
+    println!("{}", replayed.render());
+
+    let inject = verify::Inject {
+        at_uops: scale.run_uops / 3,
+        bit: 5,
+    };
+    let faulted = verify::lockstep(&wl, cfg, mk, scale, interval, Some(inject))
+        .map_err(|e| format!("inject probe failed: {e}"))?;
+    println!("{}", faulted.render());
+
+    if let Some(path) = &args.trace {
+        let t = verify::check_trace(path, args.tolerant)
+            .map_err(|e| format!("trace scan of {}: {e}", path.display()))?;
+        println!(
+            "trace {}: {} records, {} resyncs, {} bytes skipped ({} mode)",
+            path.display(),
+            t.records,
+            t.resyncs,
+            t.skipped_bytes,
+            if args.tolerant { "tolerant" } else { "strict" }
+        );
+    }
+
+    if clean.diverged() {
+        return Err("clean lockstep run diverged: the simulator is nondeterministic".into());
+    }
+    if replayed.diverged() {
+        return Err("snapshot replay diverged from the original run".into());
+    }
+    match faulted.first_divergence {
+        Some(d) => {
+            println!(
+                "self-check passed: injected single-bit fault detected at cycle {} ({} retired uops)",
+                d.cycle_b, d.retired
+            );
+            Ok(())
+        }
+        None => Err("injected single-bit fault was NOT detected — digest coverage hole".into()),
+    }
 }
 
 fn save_json(dir: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
@@ -222,6 +312,7 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
                 ));
             }
         }
+        "verify" => run_verify(args)?,
         other => return Err(format!("unknown experiment: {other}")),
     }
     Ok(())
@@ -241,7 +332,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>]\n\
-                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults all"
+                 \x20      repro verify [--bench <name>] [--full | --tiny] [--trace <file> [--tolerant]]\n\
+                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults verify all"
             );
             return ExitCode::FAILURE;
         }

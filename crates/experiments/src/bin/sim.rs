@@ -8,10 +8,10 @@
 //!     --gate 1 --uops 500000 [--reverse 90] [--energy] [--density] [--out DIR]
 //! ```
 
-use perconf_bpred::{baseline_bimodal_gshare, gshare_perceptron, tage_hybrid, BranchPredictor};
+use perconf_bpred::{baseline_bimodal_gshare, gshare_perceptron, tage_hybrid, SimPredictor};
 use perconf_core::{
-    AlwaysHigh, CombineRule, CompositeCe, ConfidenceEstimator, JrsConfig, JrsEstimator,
-    PerceptronCe, PerceptronCeConfig, PerceptronTnt, PerceptronTntConfig, SmithCe,
+    AlwaysHigh, CombineRule, CompositeCe, JrsConfig, JrsEstimator, PerceptronCe,
+    PerceptronCeConfig, PerceptronTnt, PerceptronTntConfig, SimEstimator, SmithCe,
     SpeculationController, TysonCe,
 };
 use perconf_pipeline::{EnergyModel, PipelineConfig, SimStats, Simulation};
@@ -89,7 +89,7 @@ fn parse() -> Result<Options, String> {
     Ok(o)
 }
 
-fn build_predictor(name: &str) -> Result<Box<dyn BranchPredictor>, String> {
+fn build_predictor(name: &str) -> Result<Box<dyn SimPredictor>, String> {
     Ok(match name {
         "bimodal-gshare" => Box::new(baseline_bimodal_gshare()),
         "gshare-perceptron" => Box::new(gshare_perceptron()),
@@ -102,7 +102,7 @@ fn build_predictor(name: &str) -> Result<Box<dyn BranchPredictor>, String> {
     })
 }
 
-fn build_estimator(o: &Options) -> Result<Box<dyn ConfidenceEstimator>, String> {
+fn build_estimator(o: &Options) -> Result<Box<dyn SimEstimator>, String> {
     let perceptron_cfg = PerceptronCeConfig {
         lambda: o.lambda,
         reverse_lambda: o.reverse,

@@ -2,15 +2,18 @@
 //! controller construction, trace-level estimator evaluation, and
 //! full-pipeline gating runs.
 
-use perconf_bpred::{baseline_bimodal_gshare, gshare_perceptron, BranchPredictor};
+use crate::runner::CheckpointCell;
+use perconf_bpred::{
+    baseline_bimodal_gshare, gshare_perceptron, BranchPredictor, SimPredictor, Snapshot,
+};
 use perconf_core::{
     ConfidenceEstimator, EstimateCtx, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
-    PerceptronTnt, PerceptronTntConfig, SpeculationController,
+    PerceptronTnt, PerceptronTntConfig, SimEstimator, SpeculationController,
 };
 use perconf_metrics::{ConfusionMatrix, DensityPair};
-use perconf_pipeline::{Controller, PipelineConfig, SimStats, Simulation};
+use perconf_pipeline::{Controller, PipelineConfig, SimError, SimStats, Simulation};
 use perconf_workload::{spec2000, WorkloadConfig, WorkloadGenerator};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// How much work each experiment does. The paper runs 2 × 30M-uop
 /// traces per benchmark; the default scale here is chosen so the full
@@ -81,7 +84,7 @@ pub enum PredictorKind {
 impl PredictorKind {
     /// Builds the predictor.
     #[must_use]
-    pub fn build(self) -> Box<dyn BranchPredictor> {
+    pub fn build(self) -> Box<dyn SimPredictor> {
         match self {
             PredictorKind::BimodalGshare => Box::new(baseline_bimodal_gshare()),
             PredictorKind::GsharePerceptron => Box::new(gshare_perceptron()),
@@ -91,13 +94,13 @@ impl PredictorKind {
 
 /// Builds a pipeline controller from a predictor kind and estimator.
 #[must_use]
-pub fn controller(kind: PredictorKind, est: Box<dyn ConfidenceEstimator>) -> Controller {
+pub fn controller(kind: PredictorKind, est: Box<dyn SimEstimator>) -> Controller {
     SpeculationController::new(kind.build(), est)
 }
 
 /// The paper's 4 KB enhanced-JRS estimator at threshold λ.
 #[must_use]
-pub fn jrs(lambda: u8) -> Box<dyn ConfidenceEstimator> {
+pub fn jrs(lambda: u8) -> Box<dyn SimEstimator> {
     Box::new(JrsEstimator::new(JrsConfig {
         lambda,
         ..JrsConfig::default()
@@ -107,7 +110,7 @@ pub fn jrs(lambda: u8) -> Box<dyn ConfidenceEstimator> {
 /// The paper's 4 KB perceptron estimator (`perceptron_cic`) at
 /// threshold λ, binary classification (no reversal region).
 #[must_use]
-pub fn perceptron(lambda: i32) -> Box<dyn ConfidenceEstimator> {
+pub fn perceptron(lambda: i32) -> Box<dyn SimEstimator> {
     Box::new(PerceptronCe::new(PerceptronCeConfig {
         lambda,
         ..PerceptronCeConfig::default()
@@ -116,7 +119,7 @@ pub fn perceptron(lambda: i32) -> Box<dyn ConfidenceEstimator> {
 
 /// The §5.3 straw man: confidence from a direction-trained perceptron.
 #[must_use]
-pub fn perceptron_tnt(lambda: i32) -> Box<dyn ConfidenceEstimator> {
+pub fn perceptron_tnt(lambda: i32) -> Box<dyn SimEstimator> {
     Box::new(PerceptronTnt::new(PerceptronTntConfig {
         lambda,
         ..PerceptronTntConfig::default()
@@ -291,6 +294,90 @@ pub fn run_pipeline(
     sim.run(scale.run_uops).clone()
 }
 
+/// Phases a checkpointed pipeline run moves through, recorded in the
+/// mid-run snapshot so a resume knows where it was.
+const PHASE_WARMUP: u64 = 0;
+const PHASE_RUN: u64 = 1;
+
+/// Like [`run_pipeline`], but snapshotting the entire simulation into
+/// `cell` every `interval` retired uops, and resuming from whatever
+/// the cell last stored.
+///
+/// The run is bit-identical to an uninterrupted [`run_pipeline`] of
+/// the same workload and scale: the snapshot captures the full machine
+/// (workload cursor, predictor/estimator, caches, ROB, stats), so a
+/// cell killed at any point and re-entered through this function
+/// produces the same final stats and state digest. A checkpoint that
+/// fails integrity checks or was taken under a different pipeline
+/// configuration is discarded and the run starts from scratch.
+///
+/// `mk_ctl` builds the controller — called once for the initial
+/// simulation and again if a bad checkpoint forces a rebuild.
+///
+/// Returns the finished [`Simulation`] so callers can read both the
+/// stats and the final state digest.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the underlying simulation instead of
+/// panicking, so runner cells can record it as a typed failure.
+pub fn run_pipeline_checkpointed(
+    wl: &WorkloadConfig,
+    cfg: PipelineConfig,
+    mk_ctl: impl Fn() -> Controller,
+    scale: Scale,
+    cell: &CheckpointCell,
+    interval: u64,
+) -> Result<Simulation, SimError> {
+    let interval = interval.max(1);
+    let mut sim = Simulation::new(cfg, wl, mk_ctl());
+    let mut phase = PHASE_WARMUP;
+    if let Some(saved) = cell.load() {
+        let restored = (|| -> Result<u64, String> {
+            let p: u64 = serde::field(&saved, "phase").map_err(|e| e.to_string())?;
+            let state = saved
+                .get("sim")
+                .ok_or_else(|| "checkpoint missing `sim`".to_owned())?;
+            sim.restore_state(state).map_err(|e| e.to_string())?;
+            Ok(p)
+        })();
+        match restored {
+            Ok(p) => phase = p,
+            Err(e) => {
+                // A restore can die partway and leave mixed state;
+                // rebuild rather than trust it.
+                eprintln!("warning: discarding unusable mid-run checkpoint: {e}");
+                sim = Simulation::new(cfg, wl, mk_ctl());
+            }
+        }
+    }
+    let checkpoint = |sim: &Simulation, phase: u64| {
+        cell.store(&Value::Object(vec![
+            ("phase".into(), Value::UInt(phase)),
+            ("sim".into(), sim.save_state()),
+        ]));
+    };
+    if phase == PHASE_WARMUP {
+        while sim.stats().retired < scale.warmup_uops {
+            let chunk = interval.min(scale.warmup_uops - sim.stats().retired);
+            sim.try_run(chunk)?;
+            checkpoint(&sim, PHASE_WARMUP);
+        }
+        // Ends the warmup phase: resets stats (uops argument is 0).
+        sim.try_warmup(0)?;
+        checkpoint(&sim, PHASE_RUN);
+    }
+    while sim.stats().retired < scale.run_uops {
+        let chunk = interval.min(scale.run_uops - sim.stats().retired);
+        sim.try_run(chunk)?;
+        if sim.stats().retired < scale.run_uops {
+            checkpoint(&sim, PHASE_RUN);
+        }
+    }
+    cell.clear();
+    Ok(sim)
+}
+
 /// Derives the paper's `U`/`P` metrics from a baseline and a variant
 /// run of the same workload amount.
 #[must_use]
@@ -356,5 +443,88 @@ mod tests {
         assert_eq!(jrs(7).storage_bits(), 8 * 1024 * 4);
         assert_eq!(perceptron(0).storage_bits(), 128 * 33 * 8);
         assert_eq!(perceptron_tnt(30).storage_bits(), 128 * 33 * 8);
+    }
+
+    fn tmp_cell(tag: &str) -> (std::path::PathBuf, CheckpointCell) {
+        let dir =
+            std::env::temp_dir().join(format!("perconf-common-chk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cell = CheckpointCell::at(dir.join("cell.part.psnap"));
+        (dir, cell)
+    }
+
+    #[test]
+    fn checkpointed_run_matches_the_plain_run() {
+        let wl = perconf_workload::spec2000_config("gcc").unwrap();
+        let scale = Scale::tiny();
+        let cfg = PipelineConfig::with_depth_width(20, 4);
+        let mk = || controller(PredictorKind::BimodalGshare, perceptron(14));
+        let plain = run_pipeline(&wl, cfg, mk(), scale);
+        let (dir, cell) = tmp_cell("match");
+        let sim = run_pipeline_checkpointed(&wl, cfg, mk, scale, &cell, 7_000).unwrap();
+        assert_eq!(sim.stats(), &plain, "chunked run must be bit-identical");
+        assert!(
+            cell.path().is_none_or(|p| !p.exists()),
+            "completed run clears its partial checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_mid_cell_run_resumes_to_identical_stats_and_digest() {
+        let wl = perconf_workload::spec2000_config("twolf").unwrap();
+        let scale = Scale::tiny();
+        let cfg = PipelineConfig::with_depth_width(20, 4);
+        let mk = || controller(PredictorKind::BimodalGshare, perceptron(14));
+
+        // Reference: one uninterrupted checkpointed run.
+        let (dir_a, cell_a) = tmp_cell("ref");
+        let reference = run_pipeline_checkpointed(&wl, cfg, mk, scale, &cell_a, 9_000).unwrap();
+
+        // "Killed" run: advance part-way through the measured phase,
+        // store a mid-run checkpoint exactly as the driver does, then
+        // drop the simulation — the moral equivalent of SIGKILL.
+        let (dir_b, cell_b) = tmp_cell("killed");
+        {
+            let mut sim = Simulation::new(cfg, &wl, mk());
+            sim.warmup(scale.warmup_uops);
+            sim.try_run(scale.run_uops / 3).unwrap();
+            cell_b.store(&Value::Object(vec![
+                ("phase".into(), Value::UInt(super::PHASE_RUN)),
+                ("sim".into(), sim.save_state()),
+            ]));
+        }
+        let resumed = run_pipeline_checkpointed(&wl, cfg, mk, scale, &cell_b, 9_000).unwrap();
+        assert_eq!(resumed.stats(), reference.stats());
+        assert_eq!(resumed.state_digest(), reference.state_digest());
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn corrupt_mid_run_checkpoint_degrades_to_a_from_scratch_run() {
+        let wl = perconf_workload::spec2000_config("gcc").unwrap();
+        let scale = Scale::tiny();
+        let cfg = PipelineConfig::with_depth_width(20, 4);
+        let mk = || controller(PredictorKind::BimodalGshare, jrs(7));
+        let plain = run_pipeline(&wl, cfg, mk(), scale);
+        let (dir, cell) = tmp_cell("corrupt");
+        // A syntactically valid snapfile whose payload is not a
+        // simulation snapshot: survives the container checks, fails
+        // restore, and must trigger the rebuild path.
+        crate::snapfile::write(
+            cell.path().unwrap(),
+            &Value::Object(vec![
+                ("phase".into(), Value::UInt(super::PHASE_RUN)),
+                (
+                    "sim".into(),
+                    Value::Object(vec![("bogus".into(), Value::Null)]),
+                ),
+            ]),
+        )
+        .unwrap();
+        let sim = run_pipeline_checkpointed(&wl, cfg, mk, scale, &cell, 11_000).unwrap();
+        assert_eq!(sim.stats(), &plain);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

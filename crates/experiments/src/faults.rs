@@ -25,12 +25,11 @@
 //! and with `repro faults --resume <dir>` completed cells are loaded
 //! from checkpoints instead of recomputed.
 
-use crate::common::{run_pipeline, trace_eval, Scale};
-use crate::runner::Runner;
-use perconf_bpred::{baseline_bimodal_gshare, BranchPredictor};
+use crate::common::{run_pipeline_checkpointed, trace_eval, Scale};
+use crate::runner::{CheckpointCell, Runner};
+use perconf_bpred::{baseline_bimodal_gshare, SimPredictor};
 use perconf_core::{
-    ConfidenceEstimator, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
-    SpeculationController,
+    JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
 };
 use perconf_faults::{FaultConfig, FaultyEstimator, FaultyPredictor};
 use perconf_metrics::Table;
@@ -129,8 +128,21 @@ fn estimator_by_name(name: &str) -> Box<dyn perconf_core::FaultableEstimator> {
 }
 
 /// Computes one sweep cell (exposed for the driver's tests).
+///
+/// The pipeline-IPC leg of the cell snapshots the full simulation into
+/// `cell` every ~50k retired uops, so a cell killed mid-pipeline-run
+/// resumes from its last checkpoint on the next `--resume` pass
+/// instead of recomputing. Pass [`CheckpointCell::disabled`] to run
+/// without persistence.
 #[must_use]
-pub fn run_cell(bench: &str, estimator: &str, rate: f64, seed: u64, scale: Scale) -> FaultCell {
+pub fn run_cell(
+    bench: &str,
+    estimator: &str,
+    rate: f64,
+    seed: u64,
+    scale: Scale,
+    cell: &CheckpointCell,
+) -> FaultCell {
     let wl = perconf_workload::spec2000_config(bench).expect("known benchmark");
     // The predictor takes both persistent table upsets and transient
     // history-latch strikes at the same rate; without the latter, big
@@ -161,14 +173,30 @@ pub fn run_cell(bench: &str, estimator: &str, rate: f64, seed: u64, scale: Scale
     let faults_estimator = e.injected();
 
     // Pipeline IPC with both structures faulted (gated deep machine,
-    // the configuration the estimator actually protects).
-    let ctl = SpeculationController::new(
-        Box::new(FaultyPredictor::new(baseline_bimodal_gshare(), &cfg_p))
-            as Box<dyn BranchPredictor>,
-        Box::new(FaultyEstimator::new(estimator_by_name(estimator), &cfg_e))
-            as Box<dyn ConfidenceEstimator>,
-    );
-    let stats = run_pipeline(&wl, PipelineConfig::deep().gated(1), ctl, scale);
+    // the configuration the estimator actually protects). The faulted
+    // controller snapshots like a clean one — the fault plan's RNG
+    // cursor rides along — so resuming replays the same upsets.
+    let mk_ctl = || {
+        SpeculationController::new(
+            Box::new(FaultyPredictor::new(baseline_bimodal_gshare(), &cfg_p))
+                as Box<dyn SimPredictor>,
+            Box::new(FaultyEstimator::new(estimator_by_name(estimator), &cfg_e))
+                as Box<dyn SimEstimator>,
+        )
+    };
+    let stats = match run_pipeline_checkpointed(
+        &wl,
+        PipelineConfig::deep().gated(1),
+        mk_ctl,
+        scale,
+        cell,
+        50_000,
+    ) {
+        Ok(sim) => sim.stats().clone(),
+        // A SimError is an invariant failure; surface it as the panic
+        // the runner's catch_unwind already turns into a typed error.
+        Err(e) => panic!("{e}"),
+    };
 
     FaultCell {
         benchmark: bench.to_owned(),
@@ -198,7 +226,9 @@ pub fn run(scale: Scale, seed: u64, runner: &mut Runner) -> FaultTable {
                 let key = format!("faults-s{seed}-{est}-{bench}-r{ri}");
                 let cs = cell_seed(seed, bench, est, ri);
                 let (b, e) = (bench.to_owned(), est.to_owned());
-                match runner.run_cell(&key, move || run_cell(&b, &e, rate, cs, scale)) {
+                match runner
+                    .run_cell_resumable(&key, move |chk| run_cell(&b, &e, rate, cs, scale, chk))
+                {
                     Ok(c) => cells.push(c),
                     Err(_) => failed.push(key),
                 }
@@ -353,7 +383,14 @@ mod tests {
     #[test]
     fn zero_rate_cell_reproduces_the_unwrapped_baseline_exactly() {
         let scale = Scale::tiny();
-        let cell = run_cell("gcc", "perceptron", 0.0, 42, scale);
+        let cell = run_cell(
+            "gcc",
+            "perceptron",
+            0.0,
+            42,
+            scale,
+            &CheckpointCell::disabled(),
+        );
         // Unwrapped reference, same workload and scale.
         let wl = perconf_workload::spec2000_config("gcc").unwrap();
         let mut p = baseline_bimodal_gshare();
@@ -369,12 +406,14 @@ mod tests {
         assert!((cell.pvn - cm.pvn() * 100.0).abs() < 1e-12);
         assert!((cell.spec - cm.spec() * 100.0).abs() < 1e-12);
         assert!((cell.miss_rate - cm.misprediction_rate() * 100.0).abs() < 1e-12);
-        let ctl = SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-            Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
-                as Box<dyn ConfidenceEstimator>,
-        );
-        let stats = run_pipeline(&wl, PipelineConfig::deep().gated(1), ctl, scale);
+        let mk_ctl = || {
+            SpeculationController::new(
+                Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+                Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>,
+            )
+        };
+        let stats =
+            crate::common::run_pipeline(&wl, PipelineConfig::deep().gated(1), mk_ctl(), scale);
         assert!((cell.ipc - stats.ipc()).abs() < 1e-12);
         assert_eq!(cell.faults_predictor, 0);
         assert_eq!(cell.faults_estimator, 0);
@@ -383,8 +422,8 @@ mod tests {
     #[test]
     fn heavy_faults_degrade_the_predictor() {
         let scale = Scale::tiny();
-        let clean = run_cell("gcc", "jrs", 0.0, 9, scale);
-        let dirty = run_cell("gcc", "jrs", 1e-2, 9, scale);
+        let clean = run_cell("gcc", "jrs", 0.0, 9, scale, &CheckpointCell::disabled());
+        let dirty = run_cell("gcc", "jrs", 1e-2, 9, scale, &CheckpointCell::disabled());
         assert!(dirty.faults_predictor > 0);
         assert!(
             dirty.miss_rate > clean.miss_rate,

@@ -44,10 +44,12 @@ pub mod figs;
 pub mod latency;
 pub mod paper;
 pub mod runner;
+pub mod snapfile;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod verify;
 
 pub use common::Scale;

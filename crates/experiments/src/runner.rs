@@ -12,9 +12,10 @@
 //! A failed cell produces a [`RunError`] value — the sweep continues
 //! and the driver reports which cells are missing rather than dying.
 
-use serde::{Deserialize, DeserializeOwned, Serialize};
+use crate::snapfile;
+use serde::{Deserialize, DeserializeOwned, Serialize, Value};
 use std::panic::{self, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
@@ -119,6 +120,88 @@ impl RunnerConfig {
     }
 }
 
+/// A handle through which a sweep cell persists mid-run state, so an
+/// interrupted (timed-out, panicked, killed) cell can resume from its
+/// last in-flight checkpoint instead of from scratch.
+///
+/// The handle is inert when the owning [`Runner`] has no checkpoint
+/// directory: [`load`](Self::load) returns `None` and
+/// [`store`](Self::store) is a no-op, so cell code can checkpoint
+/// unconditionally. State travels through the versioned, checksummed
+/// [`snapfile`] container; a corrupt or truncated partial checkpoint
+/// is discarded (with a warning naming the reason) and the cell reruns
+/// from scratch — never deserialized into nonsense.
+#[derive(Debug, Clone)]
+pub struct CheckpointCell {
+    path: Option<PathBuf>,
+}
+
+impl CheckpointCell {
+    /// A handle that never persists anything (no checkpoint dir).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { path: None }
+    }
+
+    /// A handle writing to (and resuming from) `path`.
+    #[must_use]
+    pub fn at<P: Into<PathBuf>>(path: P) -> Self {
+        Self {
+            path: Some(path.into()),
+        }
+    }
+
+    /// Where the partial checkpoint lives, if persistence is on.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Loads the last stored mid-run state. `None` when persistence is
+    /// off, nothing was stored yet, or the stored file fails its
+    /// integrity checks (in which case it is deleted and the caller
+    /// starts from scratch).
+    #[must_use]
+    pub fn load(&self) -> Option<Value> {
+        let path = self.path.as_ref()?;
+        if !path.exists() {
+            return None;
+        }
+        match snapfile::read(path) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!(
+                    "warning: discarding unusable partial checkpoint {}: {e}",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(path);
+                None
+            }
+        }
+    }
+
+    /// Stores mid-run state, replacing any previous store atomically.
+    /// Best-effort: an I/O failure warns and continues (losing a
+    /// checkpoint must never kill the run it exists to protect).
+    pub fn store(&self, state: &Value) {
+        let Some(path) = &self.path else { return };
+        if let Err(e) = snapfile::write(path, state) {
+            eprintln!(
+                "warning: cannot write partial checkpoint {}: {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Removes the partial checkpoint (called after the cell finishes
+    /// and its *final* result is persisted).
+    pub fn clear(&self) {
+        if let Some(path) = &self.path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
 /// Executes sweep cells with panic isolation, a watchdog, retries and
 /// JSON checkpointing. See the module docs.
 #[derive(Debug)]
@@ -127,6 +210,10 @@ pub struct Runner {
     failures: Vec<(String, RunError)>,
     executed: u64,
     resumed: u64,
+    /// Workers abandoned by the watchdog. They cannot be killed, but
+    /// they are *kept* (not leaked detached) and joined as soon as
+    /// they finish, bounding the number of live stray threads.
+    zombies: Vec<thread::JoinHandle<()>>,
 }
 
 impl Runner {
@@ -139,6 +226,7 @@ impl Runner {
             failures: Vec::new(),
             executed: 0,
             resumed: 0,
+            zombies: Vec::new(),
         }
     }
 
@@ -188,6 +276,35 @@ impl Runner {
             .map(|d| d.join(format!("{}.failed.json", sanitize(key))))
     }
 
+    /// The mid-run (partial) checkpoint file a cell key maps to.
+    #[must_use]
+    pub fn partial_path(&self, key: &str) -> Option<PathBuf> {
+        self.cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.part.psnap", sanitize(key))))
+    }
+
+    /// Watchdog-abandoned workers still running right now. Joins (and
+    /// forgets) any that have finished since the last check.
+    pub fn zombie_count(&mut self) -> usize {
+        self.reap_zombies();
+        self.zombies.len()
+    }
+
+    /// Joins every abandoned worker that has since run to completion.
+    fn reap_zombies(&mut self) {
+        let mut live = Vec::new();
+        for handle in self.zombies.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        self.zombies = live;
+    }
+
     /// Runs one sweep cell.
     ///
     /// With resume enabled and a checkpoint present, returns the
@@ -206,17 +323,52 @@ impl Runner {
         T: Serialize + DeserializeOwned + Send + 'static,
         F: Fn() -> T + Send + Sync + 'static,
     {
+        self.run_cell_resumable(key, move |_| work())
+    }
+
+    /// Runs one sweep cell whose work can checkpoint mid-run.
+    ///
+    /// Like [`run_cell`](Self::run_cell), but `work` receives a
+    /// [`CheckpointCell`] it may [`load`](CheckpointCell::load) on
+    /// entry and [`store`](CheckpointCell::store) periodically. If an
+    /// attempt dies (panic, watchdog timeout) the *retry* — in the same
+    /// process or a later `--resume` run — picks up from the last
+    /// stored state rather than from scratch. The partial checkpoint is
+    /// cleared once the cell's final result is persisted, and survives
+    /// a recorded failure so the next resume continues mid-cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`RunError`] when every attempt failed.
+    pub fn run_cell_resumable<T, F>(&mut self, key: &str, work: F) -> Result<T, RunError>
+    where
+        T: Serialize + DeserializeOwned + Send + 'static,
+        F: Fn(&CheckpointCell) -> T + Send + Sync + 'static,
+    {
+        self.reap_zombies();
+        let cell = match self.partial_path(key) {
+            Some(p) => CheckpointCell::at(p),
+            None => CheckpointCell::disabled(),
+        };
         if self.cfg.resume {
             if let Some(v) = self.load_checkpoint(key) {
                 self.resumed += 1;
+                // The final result exists; any leftover partial state
+                // is stale.
+                cell.clear();
                 return Ok(v);
             }
             // A stale failure marker means this cell is being retried.
             if let Some(p) = self.failed_path(key) {
                 let _ = std::fs::remove_file(p);
             }
+        } else {
+            // A fresh (non-resume) sweep must not silently continue
+            // from some earlier run's mid-cell state.
+            cell.clear();
         }
-        let work = Arc::new(work);
+        let work_cell = cell.clone();
+        let work = Arc::new(move || work(&work_cell));
         let mut last = RunError::Panic {
             message: "cell never ran".to_owned(),
         };
@@ -230,6 +382,7 @@ impl Runner {
                     if let Err(e) = self.write_checkpoint(key, &v) {
                         eprintln!("warning: cell {key}: {e}");
                     }
+                    cell.clear();
                     return Ok(v);
                 }
                 Err(e) => {
@@ -244,7 +397,7 @@ impl Runner {
     }
 
     /// One isolated attempt: worker thread + catch_unwind + watchdog.
-    fn attempt<T, F>(&self, work: Arc<F>) -> Result<T, RunError>
+    fn attempt<T, F>(&mut self, work: Arc<F>) -> Result<T, RunError>
     where
         T: Send + 'static,
         F: Fn() -> T + Send + Sync + 'static,
@@ -262,15 +415,22 @@ impl Runner {
             })?;
         let outcome = match self.cfg.timeout {
             Some(t) => match rx.recv_timeout(t) {
-                Ok(r) => r,
+                Ok(r) => {
+                    // The worker has reported; it exits imminently.
+                    let _ = handle.join();
+                    r
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // The worker cannot be killed; it is abandoned and
-                    // will exit (detached) whenever its cell returns.
+                    // The worker cannot be killed. Keep its handle so
+                    // it is joined as soon as it finishes (reaped at
+                    // the next cell) instead of leaking detached.
+                    self.zombies.push(handle);
                     return Err(RunError::Timeout {
                         seconds: t.as_secs_f64(),
                     });
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    let _ = handle.join();
                     Err(Box::new(String::from("worker vanished without reporting"))
                         as Box<dyn std::any::Any + Send>)
                 }
@@ -372,15 +532,27 @@ mod tests {
 
     #[test]
     fn run_error_display_and_json_round_trip() {
-        let e = RunError::Timeout { seconds: 1.5 };
-        assert_eq!(e.to_string(), "timed out after 1.5s");
-        let text = serde_json::to_string(&e).unwrap();
-        let back: RunError = serde_json::from_str(&text).unwrap();
-        assert_eq!(back, e);
-        let p = RunError::Panic {
-            message: "boom".to_owned(),
-        };
-        assert_eq!(p.to_string(), "panicked: boom");
+        let variants = [
+            RunError::Timeout { seconds: 1.5 },
+            RunError::Panic {
+                message: "boom".to_owned(),
+            },
+            RunError::Io {
+                message: "disk full".to_owned(),
+            },
+            RunError::Invariant {
+                message: "ROB overflow".to_owned(),
+            },
+        ];
+        for e in &variants {
+            let text = serde_json::to_string(e).unwrap();
+            let back: RunError = serde_json::from_str(&text).unwrap();
+            assert_eq!(&back, e);
+        }
+        assert_eq!(variants[0].to_string(), "timed out after 1.5s");
+        assert_eq!(variants[1].to_string(), "panicked: boom");
+        assert_eq!(variants[2].to_string(), "i/o error: disk full");
+        assert_eq!(variants[3].to_string(), "invariant violated: ROB overflow");
     }
 
     #[test]
@@ -446,5 +618,130 @@ mod tests {
             thread::sleep(Duration::from_millis(20));
         });
         assert!(matches!(out.unwrap_err(), RunError::Timeout { .. }));
+    }
+
+    #[test]
+    fn timed_out_workers_are_reaped_once_they_finish() {
+        let mut r = Runner::new(RunnerConfig {
+            timeout: Some(Duration::from_millis(20)),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            ..RunnerConfig::default()
+        });
+        // Outlives its watchdog but terminates on its own.
+        let out: Result<u32, RunError> = r.run_cell("slow", || {
+            thread::sleep(Duration::from_millis(120));
+            1
+        });
+        assert!(matches!(out.unwrap_err(), RunError::Timeout { .. }));
+        assert_eq!(r.zombie_count(), 1, "abandoned worker is tracked");
+        // Once the stray worker exits, the next check joins it.
+        thread::sleep(Duration::from_millis(250));
+        assert_eq!(r.zombie_count(), 0, "finished worker is reaped");
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perconf-runner-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn retry_resumes_from_the_mid_cell_checkpoint() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let dir = fresh_dir("midcell");
+        let mut r = Runner::new(RunnerConfig {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            timeout: None,
+            ..RunnerConfig::resuming(&dir)
+        });
+        let steps = Arc::new(AtomicU32::new(0));
+        let attempts = Arc::new(AtomicU32::new(0));
+        let (s, a) = (Arc::clone(&steps), Arc::clone(&attempts));
+        // Counts to 10 in checkpointed steps; the first attempt dies
+        // at 5. The retry must start from 5, not 0.
+        let out = r.run_cell_resumable("counter", move |cell| {
+            let first = a.fetch_add(1, Ordering::SeqCst) == 0;
+            // JSON round-trips non-negative integers as `Int`.
+            let mut n = match cell.load() {
+                Some(Value::UInt(n)) => n,
+                Some(Value::Int(n)) if n >= 0 => n as u64,
+                _ => 0,
+            };
+            while n < 10 {
+                n += 1;
+                s.fetch_add(1, Ordering::SeqCst);
+                cell.store(&Value::UInt(n));
+                if first && n == 5 {
+                    panic!("injected mid-cell death");
+                }
+            }
+            n
+        });
+        assert_eq!(out.unwrap(), 10);
+        assert_eq!(
+            steps.load(Ordering::SeqCst),
+            10,
+            "5 steps before the death + 5 after resuming, no redone work"
+        );
+        // Success cleared the partial checkpoint alongside the final one.
+        assert!(!r.partial_path("counter").unwrap().exists());
+        assert!(r.checkpoint_path("counter").unwrap().is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_partial_checkpoint_falls_back_to_scratch() {
+        let dir = fresh_dir("corrupt-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = Runner::new(RunnerConfig {
+            retries: 0,
+            timeout: None,
+            ..RunnerConfig::resuming(&dir)
+        });
+        // Plant garbage where the partial checkpoint would live.
+        std::fs::write(r.partial_path("cell").unwrap(), b"PSNAPxxx not a snapshot").unwrap();
+        let out = r.run_cell_resumable("cell", |cell| {
+            // The corrupt file must not surface as state.
+            assert!(cell.load().is_none(), "corrupt partial must be discarded");
+            42u32
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert!(!r.partial_path("cell").unwrap().exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_run_ignores_stale_partial_state() {
+        let dir = fresh_dir("stale-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        // resume = false: a leftover partial from some earlier sweep
+        // must be cleared, not consumed.
+        let mut r = Runner::new(RunnerConfig {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            retries: 0,
+            timeout: None,
+            ..RunnerConfig::default()
+        });
+        snapfile::write(&r.partial_path("cell").unwrap(), &Value::UInt(999)).unwrap();
+        let out = r.run_cell_resumable("cell", |cell| match cell.load() {
+            Some(Value::UInt(n)) => n,
+            Some(Value::Int(n)) if n >= 0 => n as u64,
+            _ => 0u64,
+        });
+        assert_eq!(out.unwrap(), 0, "stale partial state must not leak in");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_checkpoint_cell_is_inert() {
+        let cell = CheckpointCell::disabled();
+        assert!(cell.load().is_none());
+        cell.store(&Value::UInt(7));
+        cell.clear();
+        assert!(cell.path().is_none());
     }
 }

@@ -60,7 +60,7 @@ pub fn run(scale: Scale) -> Table2 {
         for (i, (_, cfg)) in shapes().into_iter().enumerate() {
             let ctl = SpeculationController::new(
                 PredictorKind::BimodalGshare.build(),
-                Box::new(AlwaysHigh) as Box<dyn perconf_core::ConfidenceEstimator>,
+                Box::new(AlwaysHigh) as Box<dyn perconf_core::SimEstimator>,
             );
             let s = run_pipeline(&wl, cfg, ctl, scale);
             waste[i] = WastePair {

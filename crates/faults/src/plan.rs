@@ -1,5 +1,6 @@
+use perconf_bpred::{Snapshot, SnapshotError, StateDigest};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Parameters of a deterministic fault-injection campaign.
 ///
@@ -146,6 +147,43 @@ impl FaultPlan {
     }
 }
 
+impl Snapshot for FaultPlan {
+    fn save_state(&self) -> Value {
+        Value::Object(vec![
+            ("rng".into(), self.rng.state().to_value()),
+            ("rate".into(), self.rate.to_value()),
+            ("history_rate".into(), self.history_rate.to_value()),
+            ("accesses".into(), self.accesses.to_value()),
+            ("injected".into(), self.injected.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        fn f<T: Deserialize>(state: &Value, name: &str) -> Result<T, SnapshotError> {
+            serde::field(state, name).map_err(SnapshotError::from_de)
+        }
+        let rng_state: [u64; 4] = f(state, "rng")?;
+        self.rate = f(state, "rate")?;
+        self.history_rate = f(state, "history_rate")?;
+        self.accesses = f(state, "accesses")?;
+        self.injected = f(state, "injected")?;
+        self.rng = SmallRng::from_state(rng_state);
+        Ok(())
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for w in self.rng.state() {
+            d.word(w);
+        }
+        d.float(self.rate)
+            .float(self.history_rate)
+            .word(self.accesses)
+            .word(self.injected);
+        d.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +272,35 @@ mod tests {
         for h in [0u64, u64::MAX, 0xA5A5_5A5A] {
             assert_eq!(plan.corrupt_history(h), h);
         }
+    }
+
+    #[test]
+    fn snapshot_resume_replays_remaining_fault_sequence() {
+        let cfg = FaultConfig::state_only(0.05, 0xC0FFEE);
+        let mut reference = FaultPlan::new(&cfg);
+        for _ in 0..10_000 {
+            reference.next_fault(4096);
+        }
+        let snap = reference.save_state();
+
+        let mut resumed = FaultPlan::new(&cfg);
+        resumed.restore_state(&snap).unwrap();
+        assert_eq!(resumed.state_digest(), reference.state_digest());
+        assert_eq!(resumed.accesses(), reference.accesses());
+        assert_eq!(resumed.injected(), reference.injected());
+
+        for _ in 0..10_000 {
+            assert_eq!(reference.next_fault(4096), resumed.next_fault(4096));
+        }
+        assert_eq!(resumed.state_digest(), reference.state_digest());
+    }
+
+    #[test]
+    fn digest_tracks_plan_progress() {
+        let cfg = FaultConfig::state_only(0.5, 1);
+        let mut plan = FaultPlan::new(&cfg);
+        let d0 = plan.state_digest();
+        plan.next_fault(64);
+        assert_ne!(plan.state_digest(), d0);
     }
 }

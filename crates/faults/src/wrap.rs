@@ -1,9 +1,22 @@
 use std::cell::RefCell;
 
-use perconf_bpred::{BranchPredictor, FaultableState};
+use perconf_bpred::{BranchPredictor, FaultableState, Snapshot, SnapshotError, StateDigest};
 use perconf_core::{ConfidenceEstimator, Estimate, EstimateCtx};
+use serde::Value;
 
 use crate::plan::{FaultConfig, FaultPlan};
+
+/// Pulls a named component out of a two-field wrapper snapshot.
+fn component<'v>(state: &'v Value, name: &str) -> Result<&'v Value, SnapshotError> {
+    if let Value::Object(fields) = state {
+        if let Some((_, v)) = fields.iter().find(|(k, _)| k == name) {
+            return Ok(v);
+        }
+    }
+    Err(SnapshotError::msg(format!(
+        "fault-wrapper snapshot missing `{name}`"
+    )))
+}
 
 /// A [`BranchPredictor`] adapter that injects seeded single-bit faults
 /// into the wrapped predictor's state.
@@ -97,6 +110,29 @@ impl<P: BranchPredictor + FaultableState> FaultableState for FaultyPredictor<P> 
     }
 }
 
+impl<P: Snapshot> Snapshot for FaultyPredictor<P> {
+    fn save_state(&self) -> Value {
+        Value::Object(vec![
+            ("inner".into(), self.inner.borrow().save_state()),
+            ("plan".into(), self.plan.borrow().save_state()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        self.inner
+            .get_mut()
+            .restore_state(component(state, "inner")?)?;
+        self.plan.get_mut().restore_state(component(state, "plan")?)
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(self.inner.borrow().state_digest())
+            .word(self.plan.borrow().state_digest());
+        d.finish()
+    }
+}
+
 /// A [`ConfidenceEstimator`] adapter mirroring [`FaultyPredictor`]:
 /// seeded single-bit upsets in the estimator's state (perceptron
 /// weights, miss-distance counters, local histories), plus transient
@@ -173,6 +209,29 @@ impl<E: ConfidenceEstimator + FaultableState> FaultableState for FaultyEstimator
 
     fn flip_state_bit(&mut self, bit: u64) {
         self.inner.get_mut().flip_state_bit(bit);
+    }
+}
+
+impl<E: Snapshot> Snapshot for FaultyEstimator<E> {
+    fn save_state(&self) -> Value {
+        Value::Object(vec![
+            ("inner".into(), self.inner.borrow().save_state()),
+            ("plan".into(), self.plan.borrow().save_state()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        self.inner
+            .get_mut()
+            .restore_state(component(state, "inner")?)?;
+        self.plan.get_mut().restore_state(component(state, "plan")?)
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.word(self.inner.borrow().state_digest())
+            .word(self.plan.borrow().state_digest());
+        d.finish()
     }
 }
 
@@ -290,6 +349,66 @@ mod tests {
         let as_predictor: Box<dyn BranchPredictor> = Box::new(faulty);
         let _ = as_predictor.predict(0x40, 0);
         assert!(as_predictor.storage_bits() > 0);
+    }
+
+    #[test]
+    fn snapshot_resumes_a_faulty_run_bit_identically() {
+        let cfg = FaultConfig::state_only(0.01, 0xFEED);
+        let mut reference = FaultyPredictor::new(Bimodal::new(9), &cfg);
+        let mut rng = SmallRng::seed_from_u64(0x1234);
+        let mut hist = 0u64;
+        for _ in 0..20_000u32 {
+            let pc = u64::from(rng.gen_range(0u32..512)) << 2;
+            let taken = pc & 4 == 0;
+            reference.predict(pc, hist);
+            reference.train(pc, hist, taken);
+            hist = (hist << 1) | u64::from(taken);
+        }
+        let snap = reference.save_state();
+
+        let mut resumed = FaultyPredictor::new(Bimodal::new(9), &cfg);
+        resumed.restore_state(&snap).unwrap();
+        assert_eq!(resumed.state_digest(), reference.state_digest());
+        assert_eq!(resumed.injected(), reference.injected());
+
+        // Identical faults and identical predictions from here on.
+        for _ in 0..20_000u32 {
+            let pc = u64::from(rng.gen_range(0u32..512)) << 2;
+            let taken = pc & 4 == 0;
+            assert_eq!(reference.predict(pc, hist), resumed.predict(pc, hist));
+            reference.train(pc, hist, taken);
+            resumed.train(pc, hist, taken);
+            hist = (hist << 1) | u64::from(taken);
+        }
+        assert_eq!(resumed.state_digest(), reference.state_digest());
+    }
+
+    #[test]
+    fn estimator_snapshot_round_trips() {
+        let cfg = FaultConfig::state_only(0.05, 3);
+        let faulty = FaultyEstimator::new(PerceptronCe::new(PerceptronCeConfig::default()), &cfg);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut warm = FaultyEstimator::new(PerceptronCe::new(PerceptronCeConfig::default()), &cfg);
+        for _ in 0..5_000u32 {
+            let ctx = EstimateCtx {
+                pc: u64::from(rng.gen_range(0u32..256)) << 2,
+                history: rng.gen(),
+                predicted_taken: rng.gen_bool(0.5),
+            };
+            let est = warm.estimate(&ctx);
+            warm.train(&ctx, est, rng.gen_bool(0.1));
+        }
+        let mut restored = faulty;
+        restored.restore_state(&warm.save_state()).unwrap();
+        assert_eq!(restored.state_digest(), warm.state_digest());
+        assert_eq!(restored.accesses(), warm.accesses());
+    }
+
+    #[test]
+    fn restore_rejects_a_malformed_snapshot() {
+        let mut p = FaultyPredictor::new(Bimodal::new(4), &FaultConfig::none());
+        let err = p.restore_state(&serde::Value::Null).unwrap_err();
+        assert!(err.to_string().contains("inner"));
     }
 
     #[test]

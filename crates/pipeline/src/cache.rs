@@ -38,7 +38,7 @@ impl CacheConfig {
 /// assert!(c.access(0x1000));  // now a hit
 /// assert!(c.access(0x1004));  // same line
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cache {
     cfg: CacheConfig,
     // sets[set] is a MRU-ordered list of line addresses.
@@ -147,7 +147,7 @@ impl Cache {
 /// Hardware stream prefetcher: tracks up to N sequential miss streams
 /// and prefetches ahead on a confirmed stream (paper Table 1:
 /// "stream-based, 16 streams").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamPrefetcher {
     // (next expected line, confirmed)
     streams: Vec<(u64, bool)>,
@@ -258,7 +258,7 @@ impl Default for MemHierarchyConfig {
 
 /// Two-level data cache hierarchy with a stream prefetcher filling
 /// into L2.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemHierarchy {
     cfg: MemHierarchyConfig,
     l1: Cache,

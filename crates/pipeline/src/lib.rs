@@ -41,8 +41,8 @@
 //!
 //! let wl = spec2000_config("gcc").unwrap();
 //! let ctl = SpeculationController::new(
-//!     Box::new(baseline_bimodal_gshare()) as Box<dyn perconf_bpred::BranchPredictor>,
-//!     Box::new(AlwaysHigh) as Box<dyn perconf_core::ConfidenceEstimator>,
+//!     Box::new(baseline_bimodal_gshare()) as Box<dyn perconf_bpred::SimPredictor>,
+//!     Box::new(AlwaysHigh) as Box<dyn perconf_core::SimEstimator>,
 //! );
 //! let mut sim = Simulation::new(PipelineConfig::with_depth_width(20, 4), &wl, ctl);
 //! let stats = sim.run(20_000);

@@ -1,16 +1,19 @@
 use crate::cache::MemHierarchy;
 use crate::config::PipelineConfig;
 use crate::stats::SimStats;
-use perconf_bpred::BranchPredictor;
-use perconf_core::{
-    AlwaysHigh, BranchDecision, ConfidenceEstimator, GateCounter, SpeculationController,
-};
+use perconf_bpred::{digest_value, SimPredictor, Snapshot, SnapshotError};
+use perconf_core::{AlwaysHigh, BranchDecision, GateCounter, SimEstimator, SpeculationController};
 use perconf_metrics::DensityPair;
 use perconf_workload::{Uop, UopKind, WorkloadConfig, WorkloadGenerator};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashSet, VecDeque};
 
 /// The boxed predictor + estimator combination the simulator drives.
-pub type Controller = SpeculationController<Box<dyn BranchPredictor>, Box<dyn ConfidenceEstimator>>;
+///
+/// Components are [`SimPredictor`]/[`SimEstimator`] — predictor or
+/// estimator *plus* [`Snapshot`] — so a whole simulation can be
+/// checkpointed and restored mid-run.
+pub type Controller = SpeculationController<Box<dyn SimPredictor>, Box<dyn SimEstimator>>;
 
 /// A recoverable simulator failure.
 ///
@@ -83,7 +86,7 @@ const STATUS_WINDOW: usize = 1 << 14;
 /// dependence distance.
 const CP_RING: usize = 128;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct SlotStatus {
     seq: u64,
     completed: bool,
@@ -104,7 +107,7 @@ fn class_of(kind: UopKind) -> Class {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Inflight {
     seq: u64,
     uop: Uop,
@@ -209,8 +212,8 @@ impl Simulation {
     #[must_use]
     pub fn with_defaults(cfg: PipelineConfig, workload: &WorkloadConfig) -> Self {
         let ctl = SpeculationController::new(
-            Box::new(perconf_bpred::baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-            Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>,
+            Box::new(perconf_bpred::baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+            Box::new(AlwaysHigh) as Box<dyn SimEstimator>,
         );
         Self::new(cfg, workload, ctl)
     }
@@ -700,14 +703,112 @@ impl Simulation {
     }
 }
 
+/// Snapshotting captures the *entire* simulated machine: workload
+/// cursor, predictor and estimator tables, caches and prefetcher,
+/// front-end pipe, ROB, completion window, gate state and statistics.
+/// Restoring into a simulation built from the same `PipelineConfig`
+/// and workload resumes bit-identically — every subsequent cycle
+/// produces the same state digests as an uninterrupted run.
+///
+/// The pipeline config is embedded in the snapshot and checked on
+/// restore, so a checkpoint can never silently resume under a
+/// different machine configuration.
+impl Snapshot for Simulation {
+    fn save_state(&self) -> Value {
+        // `gate_counted` is a HashSet; serialize sorted so the snapshot
+        // bytes (and their digest) are independent of hash order.
+        let mut gate_counted: Vec<u64> = self.gate_counted.iter().copied().collect();
+        gate_counted.sort_unstable();
+        Value::Object(vec![
+            ("cfg".into(), self.cfg.to_value()),
+            ("gen".into(), self.gen.save_state()),
+            ("ctl".into(), self.ctl.save_state()),
+            ("mem".into(), self.mem.to_value()),
+            ("frontend".into(), self.frontend.to_value()),
+            ("rob".into(), self.rob.to_value()),
+            ("status".into(), self.status.to_value()),
+            ("cp_ring".into(), self.cp_ring.to_value()),
+            ("cp_index".into(), self.cp_index.to_value()),
+            ("gate".into(), self.gate.save_state()),
+            ("gate_pending".into(), self.gate_pending.to_value()),
+            ("gate_counted".into(), gate_counted.to_value()),
+            ("fetch_history".into(), self.fetch_history.to_value()),
+            ("wrong_path_since".into(), self.wrong_path_since.to_value()),
+            ("restore_history".into(), self.restore_history.to_value()),
+            ("redirect_until".into(), self.redirect_until.to_value()),
+            ("now".into(), self.now.to_value()),
+            ("next_seq".into(), self.next_seq.to_value()),
+            ("sched_occ".into(), self.sched_occ.to_value()),
+            ("ldq_occ".into(), self.ldq_occ.to_value()),
+            ("stq_occ".into(), self.stq_occ.to_value()),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        fn f<T: Deserialize>(state: &Value, name: &str) -> Result<T, SnapshotError> {
+            serde::field(state, name).map_err(SnapshotError::from_de)
+        }
+        fn part<'v>(state: &'v Value, name: &str) -> Result<&'v Value, SnapshotError> {
+            state
+                .get(name)
+                .ok_or_else(|| SnapshotError::msg(format!("simulation snapshot missing `{name}`")))
+        }
+        let cfg: PipelineConfig = f(state, "cfg")?;
+        if cfg != self.cfg {
+            return Err(SnapshotError::msg(
+                "snapshot was taken under a different pipeline configuration",
+            ));
+        }
+        let status: Vec<SlotStatus> = f(state, "status")?;
+        if status.len() != STATUS_WINDOW {
+            return Err(SnapshotError::msg(format!(
+                "snapshot status window has {} slots, expected {STATUS_WINDOW}",
+                status.len()
+            )));
+        }
+        self.gen.restore_state(part(state, "gen")?)?;
+        self.ctl.restore_state(part(state, "ctl")?)?;
+        self.gate.restore_state(part(state, "gate")?)?;
+        self.mem = f(state, "mem")?;
+        self.frontend = f(state, "frontend")?;
+        self.rob = f(state, "rob")?;
+        self.status = status;
+        self.cp_ring = f(state, "cp_ring")?;
+        self.cp_index = f(state, "cp_index")?;
+        self.gate_pending = f(state, "gate_pending")?;
+        let counted: Vec<u64> = f(state, "gate_counted")?;
+        self.gate_counted = counted.into_iter().collect();
+        self.fetch_history = f(state, "fetch_history")?;
+        self.wrong_path_since = f(state, "wrong_path_since")?;
+        self.restore_history = f(state, "restore_history")?;
+        self.redirect_until = f(state, "redirect_until")?;
+        self.now = f(state, "now")?;
+        self.next_seq = f(state, "next_seq")?;
+        self.sched_occ = f(state, "sched_occ")?;
+        self.ldq_occ = f(state, "ldq_occ")?;
+        self.stq_occ = f(state, "stq_occ")?;
+        self.stats = f(state, "stats")?;
+        Ok(())
+    }
+
+    fn state_digest(&self) -> u64 {
+        // Digest the full serialized machine: slower than the per-table
+        // digests of the predictors, but a simulation digest is only
+        // taken at checkpoint/verify intervals, and covering everything
+        // is what makes lockstep divergence detection airtight.
+        digest_value(&self.save_state())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use perconf_core::{PerceptronCe, PerceptronCeConfig};
 
-    fn controller(estimator: Box<dyn ConfidenceEstimator>) -> Controller {
+    fn controller(estimator: Box<dyn SimEstimator>) -> Controller {
         SpeculationController::new(
-            Box::new(perconf_bpred::baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(perconf_bpred::baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
             estimator,
         )
     }
@@ -776,10 +877,8 @@ mod tests {
     #[test]
     fn gating_reduces_wrong_path_execution() {
         let wl = workload("twolf");
-        let ce = || {
-            Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
-                as Box<dyn ConfidenceEstimator>
-        };
+        let ce =
+            || Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>;
         let mut base = Simulation::new(PipelineConfig::deep(), &wl, controller(ce()));
         let mut gated = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce()));
         base.warmup(20_000);
@@ -804,8 +903,8 @@ mod tests {
         // substrate — consistent with the paper's observation that
         // reversal gains are small and benchmark-dependent (§5.5).
         let wl = workload("twolf");
-        let ce = Box::new(PerceptronCe::new(PerceptronCeConfig::combined()))
-            as Box<dyn ConfidenceEstimator>;
+        let ce =
+            Box::new(PerceptronCe::new(PerceptronCeConfig::combined())) as Box<dyn SimEstimator>;
         let mut sim = Simulation::new(PipelineConfig::deep(), &wl, controller(ce));
         sim.warmup(30_000);
         let stats = sim.run(50_000);
@@ -823,8 +922,8 @@ mod tests {
     #[test]
     fn density_collection_populates_both_histograms() {
         let wl = workload("gcc");
-        let ce = Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
-            as Box<dyn ConfidenceEstimator>;
+        let ce =
+            Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>;
         let cfg = PipelineConfig::shallow().with_density(-400, 400, 10);
         let mut sim = Simulation::new(cfg, &wl, controller(ce));
         sim.warmup(10_000);
@@ -870,8 +969,8 @@ mod tests {
     #[test]
     fn gate_counter_drains_with_gating_enabled() {
         let wl = workload("twolf");
-        let ce = Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
-            as Box<dyn ConfidenceEstimator>;
+        let ce =
+            Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>;
         let mut sim = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce));
         sim.run(20_000);
         // Everything in flight eventually resolves; after draining the
@@ -909,6 +1008,74 @@ mod tests {
         assert!(rob.to_string().contains("ROB overflow"));
         // It is a std error, so sweep drivers can box it uniformly.
         let _: &dyn std::error::Error = &rob;
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let wl = workload("twolf");
+        let ce =
+            || Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>;
+        let mut a = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce()));
+        a.run(7_000);
+        let snap = a.save_state();
+        let digest = a.state_digest();
+
+        let mut b = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce()));
+        b.restore_state(&snap).expect("restore");
+        assert_eq!(b.state_digest(), digest);
+
+        // Both continue in lockstep: digests agree at every probe.
+        for _ in 0..5 {
+            for _ in 0..400 {
+                a.step();
+                b.step();
+            }
+            assert_eq!(a.state_digest(), b.state_digest());
+        }
+        assert_eq!(a.stats().retired, b.stats().retired);
+        assert_eq!(a.stats().cycles, b.stats().cycles);
+        assert_eq!(a.stats().base_mispredicts, b.stats().base_mispredicts);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_config_mismatch() {
+        let wl = workload("gcc");
+        let mut a = Simulation::with_defaults(PipelineConfig::shallow(), &wl);
+        a.run(500);
+        let snap = a.save_state();
+        let mut b = Simulation::with_defaults(PipelineConfig::deep(), &wl);
+        let err = b.restore_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("configuration"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_survives_json_round_trip() {
+        let wl = workload("gzip");
+        let mut a = Simulation::with_defaults(PipelineConfig::shallow(), &wl);
+        a.run(3_000);
+        let json = serde_json::to_string(&a.save_state()).unwrap();
+        let tree = serde_json::from_str(&json).unwrap();
+        let mut b = Simulation::with_defaults(PipelineConfig::shallow(), &wl);
+        b.restore_state(&tree).expect("restore from JSON");
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.run(2_000);
+        b.run(2_000);
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.stats().retired, b.stats().retired);
+    }
+
+    #[test]
+    fn digest_diverges_after_state_tampering() {
+        let wl = workload("vpr");
+        let mut a = Simulation::with_defaults(PipelineConfig::shallow(), &wl);
+        let mut b = Simulation::with_defaults(PipelineConfig::shallow(), &wl);
+        a.run(1_000);
+        b.run(1_000);
+        assert_eq!(a.state_digest(), b.state_digest());
+        // Tamper with one machine's fetch history: the digests must
+        // split — this is the primitive `repro verify` is built on.
+        b.fetch_history ^= 1;
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 
     #[test]

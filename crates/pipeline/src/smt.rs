@@ -223,8 +223,8 @@ impl SmtSimulation {
         let mk = || {
             perconf_core::SpeculationController::new(
                 Box::new(perconf_bpred::baseline_bimodal_gshare())
-                    as Box<dyn perconf_bpred::BranchPredictor>,
-                Box::new(perconf_core::AlwaysHigh) as Box<dyn perconf_core::ConfidenceEstimator>,
+                    as Box<dyn perconf_bpred::SimPredictor>,
+                Box::new(perconf_core::AlwaysHigh) as Box<dyn perconf_core::SimEstimator>,
             )
         };
         Self::new(cfg, policy, (a, mk()), (b, mk()))
@@ -638,9 +638,9 @@ mod tests {
     fn gated_controller() -> Controller {
         SpeculationController::new(
             Box::new(perconf_bpred::baseline_bimodal_gshare())
-                as Box<dyn perconf_bpred::BranchPredictor>,
+                as Box<dyn perconf_bpred::SimPredictor>,
             Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
-                as Box<dyn perconf_core::ConfidenceEstimator>,
+                as Box<dyn perconf_core::SimEstimator>,
         )
     }
 
@@ -717,8 +717,8 @@ mod tests {
         let ungated_controller = || {
             SpeculationController::new(
                 Box::new(perconf_bpred::baseline_bimodal_gshare())
-                    as Box<dyn perconf_bpred::BranchPredictor>,
-                Box::new(perconf_core::AlwaysHigh) as Box<dyn perconf_core::ConfidenceEstimator>,
+                    as Box<dyn perconf_bpred::SimPredictor>,
+                Box::new(perconf_core::AlwaysHigh) as Box<dyn perconf_core::SimEstimator>,
             )
         };
         let mut gated = SmtSimulation::new(

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// * *executed* — issued to a functional unit (the quantity pipeline
 ///   gating is designed to reduce for the wrong path);
 /// * *retired* — left the ROB architecturally (correct path only).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,

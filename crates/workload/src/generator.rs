@@ -1,7 +1,9 @@
 use crate::spec::{Program, WorkloadConfig};
 use crate::uop::{Uop, UopKind};
+use perconf_bpred::{digest_value, Snapshot, SnapshotError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 
 // Kept at half the hardware prefetcher's stream count so that correct-
@@ -329,6 +331,78 @@ impl Iterator for WorkloadGenerator {
     }
 }
 
+/// Snapshotting captures every piece of mutable cursor state — both RNG
+/// streams, the refill queue, the stream pointers, the path cursor, and
+/// the per-site behaviour state inside `program.sites` (loop counters,
+/// phase timers, pattern positions). The static program structure
+/// (paths, Zipf tables, site frequencies) is *not* saved: it is a pure
+/// function of the config, and restore targets a generator already
+/// built from the same config — which is validated, so a snapshot can
+/// never silently resume under the wrong workload.
+impl Snapshot for WorkloadGenerator {
+    fn save_state(&self) -> Value {
+        Value::Object(vec![
+            ("cfg".into(), self.cfg.to_value()),
+            ("rng".into(), self.rng.state().to_value()),
+            ("wp_rng".into(), self.wp_rng.state().to_value()),
+            ("history".into(), self.history.to_value()),
+            ("queue".into(), self.queue.to_value()),
+            ("streams".into(), self.streams.to_value()),
+            ("wp_streams".into(), self.wp_streams.to_value()),
+            ("uops_since_load".into(), self.uops_since_load.to_value()),
+            ("emitted".into(), self.emitted.to_value()),
+            ("path".into(), self.path.to_value()),
+            ("path_pos".into(), self.path_pos.to_value()),
+            (
+                "path_repeats_left".into(),
+                self.path_repeats_left.to_value(),
+            ),
+            ("sites".into(), self.program.sites.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SnapshotError> {
+        let cfg: WorkloadConfig = serde::field(state, "cfg").map_err(SnapshotError::from_de)?;
+        if cfg != self.cfg {
+            return Err(SnapshotError::msg(format!(
+                "generator snapshot was taken under workload `{}`, not `{}` (or configs differ)",
+                cfg.name, self.cfg.name
+            )));
+        }
+        let sites: Vec<crate::behavior::BranchSite> =
+            serde::field(state, "sites").map_err(SnapshotError::from_de)?;
+        if sites.len() != self.program.sites.len() {
+            return Err(SnapshotError::msg(format!(
+                "generator snapshot has {} sites, program has {}",
+                sites.len(),
+                self.program.sites.len()
+            )));
+        }
+        fn f<T: Deserialize>(state: &Value, name: &str) -> Result<T, SnapshotError> {
+            serde::field(state, name).map_err(SnapshotError::from_de)
+        }
+        self.rng = SmallRng::from_state(f(state, "rng")?);
+        self.wp_rng = SmallRng::from_state(f(state, "wp_rng")?);
+        self.history = f(state, "history")?;
+        self.queue = f(state, "queue")?;
+        self.streams = f(state, "streams")?;
+        self.wp_streams = f(state, "wp_streams")?;
+        self.uops_since_load = f(state, "uops_since_load")?;
+        self.emitted = f(state, "emitted")?;
+        self.path = f(state, "path")?;
+        self.path_pos = f(state, "path_pos")?;
+        self.path_repeats_left = f(state, "path_repeats_left")?;
+        self.program.sites = sites;
+        Ok(())
+    }
+
+    fn state_digest(&self) -> u64 {
+        // The generator digests its full serialized state: it is only
+        // consulted at checkpoint/verify intervals, never per cycle.
+        digest_value(&self.save_state())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +562,64 @@ mod tests {
             let _ = g.next_uop();
         }
         assert_eq!(g.emitted(), 100);
+    }
+
+    #[test]
+    fn snapshot_resume_reproduces_the_stream() {
+        let cfg = spec2000_config("twolf").unwrap();
+        let mut a = WorkloadGenerator::new(&cfg);
+        for _ in 0..7_777 {
+            let _ = a.next_uop();
+            let _ = a.next_wrong_path();
+        }
+        let snap = a.save_state();
+        let digest = a.state_digest();
+
+        // Restore into a fresh generator built from the same config.
+        let mut b = WorkloadGenerator::new(&cfg);
+        b.restore_state(&snap).unwrap();
+        assert_eq!(b.state_digest(), digest);
+        for _ in 0..5_000 {
+            assert_eq!(a.next_uop(), b.next_uop());
+            assert_eq!(a.next_wrong_path(), b.next_wrong_path());
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn snapshot_survives_json_round_trip() {
+        let cfg = spec2000_config("gzip").unwrap();
+        let mut a = WorkloadGenerator::new(&cfg);
+        for _ in 0..3_000 {
+            let _ = a.next_uop();
+        }
+        let json = serde_json::to_string(&a.save_state()).unwrap();
+        let back = serde_json::from_str(&json).unwrap();
+        let mut b = WorkloadGenerator::new(&cfg);
+        b.restore_state(&back).unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
+        for _ in 0..2_000 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_workload() {
+        let mut a = WorkloadGenerator::new(&spec2000_config("gzip").unwrap());
+        let snap = a.save_state();
+        let mut b = WorkloadGenerator::new(&spec2000_config("mcf").unwrap());
+        let err = b.restore_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("gzip"), "{err}");
+        // `a` itself accepts its own snapshot.
+        a.restore_state(&snap).unwrap();
+    }
+
+    #[test]
+    fn digest_changes_as_the_stream_advances() {
+        let mut g = gen("vpr");
+        let d0 = g.state_digest();
+        let _ = g.next_uop();
+        assert_ne!(g.state_digest(), d0);
     }
 
     #[test]

@@ -187,11 +187,20 @@ impl<W: Write + Seek> TraceWriter<W> {
 }
 
 /// Streams uops back out of a trace file.
+///
+/// By default every corrupted record is a hard error. In *tolerant*
+/// mode ([`TraceReader::tolerant`]) the reader instead skips damaged
+/// bytes and resynchronises on the next record whose checksum verifies,
+/// counting what it dropped — useful for salvaging partially corrupted
+/// archives during reproduction runs.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     input: R,
     remaining: u64,
     total: u64,
+    tolerant: bool,
+    skipped: u64,
+    skipped_bytes: u64,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -228,7 +237,35 @@ impl<R: Read> TraceReader<R> {
             input,
             remaining: total,
             total,
+            tolerant: false,
+            skipped: 0,
+            skipped_bytes: 0,
         })
+    }
+
+    /// Switches the reader into tolerant mode: checksum-failing records
+    /// are skipped instead of erroring, resynchronising byte-by-byte on
+    /// the next record whose checksum (and kind byte) verify. A trace
+    /// that runs out early simply ends the iteration. Inspect
+    /// [`skipped`](Self::skipped) afterwards to learn how much was
+    /// dropped.
+    #[must_use]
+    pub fn tolerant(mut self) -> Self {
+        self.tolerant = true;
+        self
+    }
+
+    /// Number of resynchronisation events (runs of damaged bytes
+    /// skipped) so far. Zero on a clean trace.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Total bytes discarded while resynchronising.
+    #[must_use]
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped_bytes
     }
 
     /// Records left to read.
@@ -266,6 +303,38 @@ impl<R: Read> TraceReader<R> {
                 format!("trace record {n} of {total}: checksum mismatch (corrupted record)"),
             ));
         }
+        Self::decode(&rec)
+    }
+
+    /// Reads the next record, sliding over damaged bytes until a
+    /// checksum-valid record is found. `UnexpectedEof` means the stream
+    /// is exhausted (possibly mid-slide).
+    fn read_record_resync(&mut self) -> io::Result<Uop> {
+        let mut rec = [0u8; RECORD_BYTES];
+        self.input.read_exact(&mut rec)?;
+        let mut slid = 0u64;
+        while checksum(&rec[..26]) != rec[26] || rec[0] > 5 {
+            rec.copy_within(1.., 0);
+            let mut next = [0u8; 1];
+            if let Err(e) = self.input.read_exact(&mut next) {
+                // Credit bytes already discarded before giving up.
+                if slid > 0 {
+                    self.skipped += 1;
+                    self.skipped_bytes += slid;
+                }
+                return Err(e);
+            }
+            rec[RECORD_BYTES - 1] = next[0];
+            slid += 1;
+        }
+        if slid > 0 {
+            self.skipped += 1;
+            self.skipped_bytes += slid;
+        }
+        Self::decode(&rec)
+    }
+
+    fn decode(rec: &[u8; RECORD_BYTES]) -> io::Result<Uop> {
         let kind = kind_from_u8(rec[0])?;
         let src1 = u32::from_le_bytes(rec[1..5].try_into().expect("4 bytes"));
         let src2 = u32::from_le_bytes(rec[5..9].try_into().expect("4 bytes"));
@@ -304,7 +373,19 @@ impl<R: Read> Iterator for TraceReader<R> {
             return None;
         }
         self.remaining -= 1;
-        Some(self.read_record())
+        if !self.tolerant {
+            return Some(self.read_record());
+        }
+        match self.read_record_resync() {
+            Ok(u) => Some(Ok(u)),
+            // A tolerant trace that runs dry (corruption swallowed the
+            // tail, or the header over-promised) just ends.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.remaining = 0;
+                None
+            }
+            Err(e) => Some(Err(e)),
+        }
     }
 }
 
@@ -365,6 +446,91 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let mut r = TraceReader::open(&path).unwrap();
         assert!(r.next().unwrap().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tolerant_reader_skips_corrupt_record_and_counts_it() {
+        let cfg = spec2000_config("gap").unwrap();
+        let path = tmp("tolerant-corrupt");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 50, &path).unwrap();
+        let original: Vec<Uop> = WorkloadGenerator::new(&cfg).take(50).collect();
+
+        // Damage record 10 in place (payload byte).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16 + 10 * RECORD_BYTES + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut r = TraceReader::open(&path).unwrap().tolerant();
+        let got: Vec<Uop> = r.by_ref().map(Result::unwrap).collect();
+        // The damaged record is dropped; everything else survives.
+        assert_eq!(got.len(), 49);
+        assert_eq!(&got[..10], &original[..10]);
+        assert_eq!(&got[10..], &original[11..]);
+        assert_eq!(r.skipped(), 1);
+        assert!(r.skipped_bytes() >= u64::try_from(RECORD_BYTES).unwrap() - 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tolerant_reader_resyncs_after_inserted_garbage() {
+        let cfg = spec2000_config("vpr").unwrap();
+        let path = tmp("tolerant-insert");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 60, &path).unwrap();
+        let original: Vec<Uop> = WorkloadGenerator::new(&cfg).take(60).collect();
+
+        // Splice 5 garbage bytes between records 20 and 21, breaking
+        // the fixed-width framing for everything after.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = 16 + 20 * RECORD_BYTES;
+        for (i, b) in [0xDEu8, 0xAD, 0xBE, 0xEF, 0x99].into_iter().enumerate() {
+            bytes.insert(at + i, b);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut r = TraceReader::open(&path).unwrap().tolerant();
+        let got: Vec<Uop> = r.by_ref().map(Result::unwrap).collect();
+        assert!(r.skipped() >= 1);
+        // Prefix before the splice is intact, and the reader recovers
+        // a long run of post-splice records rather than erroring out.
+        assert_eq!(&got[..20], &original[..20]);
+        assert!(got.len() >= 55, "recovered only {} records", got.len());
+        for u in &got[21..] {
+            assert!(original.contains(u));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tolerant_reader_is_exact_on_clean_traces() {
+        let cfg = spec2000_config("eon").unwrap();
+        let path = tmp("tolerant-clean");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 200, &path).unwrap();
+        let mut r = TraceReader::open(&path).unwrap().tolerant();
+        let got: Vec<Uop> = r.by_ref().map(Result::unwrap).collect();
+        assert_eq!(
+            got,
+            WorkloadGenerator::new(&cfg).take(200).collect::<Vec<_>>()
+        );
+        assert_eq!(r.skipped(), 0);
+        assert_eq!(r.skipped_bytes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tolerant_reader_ends_quietly_on_truncation() {
+        let cfg = spec2000_config("gzip").unwrap();
+        let path = tmp("tolerant-trunc");
+        let mut gen = WorkloadGenerator::new(&cfg);
+        TraceWriter::record(&mut gen, 100, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let results: Vec<_> = TraceReader::open(&path).unwrap().tolerant().collect();
+        assert!(results.iter().all(std::result::Result::is_ok));
+        assert!(!results.is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -7,8 +7,8 @@
 //! cargo run --release --example branch_reversal [bench]
 //! ```
 
-use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
-use perconf::core::{ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController};
+use perconf::bpred::{baseline_bimodal_gshare, SimPredictor};
+use perconf::core::{PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController};
 use perconf::pipeline::{PipelineConfig, Simulation};
 
 fn main() {
@@ -24,8 +24,8 @@ fn main() {
         PipelineConfig::deep(),
         &wl,
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-            Box::new(ce) as Box<dyn ConfidenceEstimator>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+            Box::new(ce) as Box<dyn SimEstimator>,
         ),
     );
     sim.warmup(200_000);

@@ -6,9 +6,9 @@
 //! cargo run --release --example design_space [bench]
 //! ```
 
-use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::bpred::{baseline_bimodal_gshare, SimPredictor};
 use perconf::core::{
-    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+    AlwaysHigh, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
 };
 use perconf::metrics::{Align, Table};
 use perconf::pipeline::{PipelineConfig, SimStats, Simulation};
@@ -18,7 +18,7 @@ fn run(
     cfg: PipelineConfig,
     lambda: Option<i32>,
 ) -> SimStats {
-    let est: Box<dyn ConfidenceEstimator> = match lambda {
+    let est: Box<dyn SimEstimator> = match lambda {
         None => Box::new(AlwaysHigh),
         Some(lambda) => Box::new(PerceptronCe::new(PerceptronCeConfig {
             lambda,
@@ -29,7 +29,7 @@ fn run(
         cfg,
         wl,
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
             est,
         ),
     );

@@ -7,9 +7,9 @@
 //! cargo run --release --example pipeline_gating [bench] [lambda]
 //! ```
 
-use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::bpred::{baseline_bimodal_gshare, SimPredictor};
 use perconf::core::{
-    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+    AlwaysHigh, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
 };
 use perconf::pipeline::{PipelineConfig, Simulation};
 
@@ -29,8 +29,8 @@ fn main() {
         pipe,
         &wl,
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-            Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+            Box::new(AlwaysHigh) as Box<dyn SimEstimator>,
         ),
     );
     base.warmup(warmup);
@@ -41,11 +41,11 @@ fn main() {
         pipe.gated(1),
         &wl,
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
             Box::new(PerceptronCe::new(PerceptronCeConfig {
                 lambda,
                 ..PerceptronCeConfig::default()
-            })) as Box<dyn ConfidenceEstimator>,
+            })) as Box<dyn SimEstimator>,
         ),
     );
     gated.warmup(warmup);

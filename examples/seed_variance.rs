@@ -14,7 +14,7 @@ use perconf::metrics::{stats, ConfusionMatrix};
 
 fn run_once(
     seed_run: u64,
-    mk: &dyn Fn() -> Box<dyn perconf::core::ConfidenceEstimator>,
+    mk: &dyn Fn() -> Box<dyn perconf::core::SimEstimator>,
 ) -> ConfusionMatrix {
     let mut total = ConfusionMatrix::new();
     for wl in benchmarks() {
@@ -36,7 +36,7 @@ fn main() {
     for (name, mk) in [
         (
             "enhanced-JRS λ7",
-            (&|| jrs(7)) as &dyn Fn() -> Box<dyn perconf::core::ConfidenceEstimator>,
+            (&|| jrs(7)) as &dyn Fn() -> Box<dyn perconf::core::SimEstimator>,
         ),
         ("perceptron λ0", &|| perceptron(0)),
     ] {

@@ -8,23 +8,23 @@
 //! cargo run --release --example smt_gating [quiet_bench] [noisy_bench]
 //! ```
 
-use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::bpred::{baseline_bimodal_gshare, SimPredictor};
 use perconf::core::{
-    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+    AlwaysHigh, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
 };
 use perconf::pipeline::{Controller, FetchPolicy, PipelineConfig, SmtSimulation};
 
 fn plain() -> Controller {
     SpeculationController::new(
-        Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-        Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>,
+        Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+        Box::new(AlwaysHigh) as Box<dyn SimEstimator>,
     )
 }
 
 fn gated() -> Controller {
     SpeculationController::new(
-        Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-        Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn ConfidenceEstimator>,
+        Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+        Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>,
     )
 }
 

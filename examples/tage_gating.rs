@@ -8,9 +8,9 @@
 //! cargo run --release --example tage_gating
 //! ```
 
-use perconf::bpred::{baseline_bimodal_gshare, gshare_perceptron, tage_hybrid, BranchPredictor};
+use perconf::bpred::{baseline_bimodal_gshare, gshare_perceptron, tage_hybrid, SimPredictor};
 use perconf::core::{
-    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+    AlwaysHigh, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
 };
 use perconf::metrics::{Align, Table};
 use perconf::pipeline::{PipelineConfig, SimStats, Simulation};
@@ -19,10 +19,10 @@ use perconf::workload::spec2000;
 fn run(
     wl: &perconf::workload::WorkloadConfig,
     cfg: PipelineConfig,
-    predictor: Box<dyn BranchPredictor>,
+    predictor: Box<dyn SimPredictor>,
     gated: bool,
 ) -> SimStats {
-    let est: Box<dyn ConfidenceEstimator> = if gated {
+    let est: Box<dyn SimEstimator> = if gated {
         Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
     } else {
         Box::new(AlwaysHigh)
@@ -32,7 +32,7 @@ fn run(
     sim.run(150_000).clone()
 }
 
-type MkPredictor = fn() -> Box<dyn BranchPredictor>;
+type MkPredictor = fn() -> Box<dyn SimPredictor>;
 
 fn main() {
     let predictors: [(&str, MkPredictor); 3] = [

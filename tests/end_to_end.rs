@@ -2,21 +2,21 @@
 //! every estimator, gating, reversal, and the experiment drivers at
 //! tiny scale.
 
-use perconf::bpred::{baseline_bimodal_gshare, gshare_perceptron, BranchPredictor};
+use perconf::bpred::{baseline_bimodal_gshare, gshare_perceptron, SimPredictor};
 use perconf::core::{
-    AlwaysHigh, ConfidenceEstimator, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
-    PerceptronTnt, PerceptronTntConfig, SmithCe, SpeculationController, TysonCe,
+    AlwaysHigh, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig, PerceptronTnt,
+    PerceptronTntConfig, SimEstimator, SmithCe, SpeculationController, TysonCe,
 };
 use perconf::pipeline::{PipelineConfig, Simulation};
 use perconf::workload::spec2000_config;
 
-fn sim_with(cfg: PipelineConfig, bench: &str, est: Box<dyn ConfidenceEstimator>) -> Simulation {
+fn sim_with(cfg: PipelineConfig, bench: &str, est: Box<dyn SimEstimator>) -> Simulation {
     let wl = spec2000_config(bench).unwrap();
     Simulation::new(
         cfg,
         &wl,
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
             est,
         ),
     )
@@ -24,7 +24,7 @@ fn sim_with(cfg: PipelineConfig, bench: &str, est: Box<dyn ConfidenceEstimator>)
 
 #[test]
 fn every_estimator_survives_a_gated_pipeline_run() {
-    let estimators: Vec<Box<dyn ConfidenceEstimator>> = vec![
+    let estimators: Vec<Box<dyn SimEstimator>> = vec![
         Box::new(AlwaysHigh),
         Box::new(PerceptronCe::new(PerceptronCeConfig::default())),
         Box::new(PerceptronCe::new(PerceptronCeConfig::combined())),
@@ -49,8 +49,8 @@ fn gshare_perceptron_predictor_works_in_pipeline() {
         PipelineConfig::shallow(),
         &wl,
         SpeculationController::new(
-            Box::new(gshare_perceptron()) as Box<dyn BranchPredictor>,
-            Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>,
+            Box::new(gshare_perceptron()) as Box<dyn SimPredictor>,
+            Box::new(AlwaysHigh) as Box<dyn SimEstimator>,
         ),
     );
     let stats = sim.run(20_000);
@@ -63,11 +63,11 @@ fn better_predictor_mispredicts_less() {
     // §5.2's premise: the gshare-perceptron hybrid beats bimodal-gshare
     // on workloads with long-range correlations.
     let wl = spec2000_config("mcf").unwrap();
-    let run = |p: Box<dyn BranchPredictor>| {
+    let run = |p: Box<dyn SimPredictor>| {
         let mut sim = Simulation::new(
             PipelineConfig::shallow(),
             &wl,
-            SpeculationController::new(p, Box::new(AlwaysHigh) as Box<dyn ConfidenceEstimator>),
+            SpeculationController::new(p, Box::new(AlwaysHigh) as Box<dyn SimEstimator>),
         );
         sim.warmup(80_000);
         sim.run(120_000).mpku()
@@ -85,11 +85,11 @@ fn gating_trades_fetch_for_cycles() {
     let wl = spec2000_config("vpr").unwrap();
     let mk = || {
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
             Box::new(PerceptronCe::new(PerceptronCeConfig {
                 lambda: -25,
                 ..PerceptronCeConfig::default()
-            })) as Box<dyn ConfidenceEstimator>,
+            })) as Box<dyn SimEstimator>,
         )
     };
     let mut base = Simulation::new(PipelineConfig::deep(), &wl, mk());
@@ -112,9 +112,8 @@ fn identical_runs_are_deterministic() {
             PipelineConfig::shallow().gated(1),
             &wl,
             SpeculationController::new(
-                Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-                Box::new(PerceptronCe::new(PerceptronCeConfig::default()))
-                    as Box<dyn ConfidenceEstimator>,
+                Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+                Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>,
             ),
         );
         let s = sim.run(30_000);
@@ -151,9 +150,8 @@ fn reversal_improves_speculated_rate_on_hard_benchmark() {
         PipelineConfig::deep(),
         &wl,
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
-            Box::new(PerceptronCe::new(PerceptronCeConfig::combined()))
-                as Box<dyn ConfidenceEstimator>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
+            Box::new(PerceptronCe::new(PerceptronCeConfig::combined())) as Box<dyn SimEstimator>,
         ),
     );
     sim.warmup(100_000);

@@ -3,15 +3,15 @@
 //! configurations. These are the properties every experiment's
 //! arithmetic silently relies on.
 
-use perconf::bpred::{baseline_bimodal_gshare, BranchPredictor};
+use perconf::bpred::{baseline_bimodal_gshare, SimPredictor};
 use perconf::core::{
-    AlwaysHigh, ConfidenceEstimator, PerceptronCe, PerceptronCeConfig, SpeculationController,
+    AlwaysHigh, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
 };
 use perconf::pipeline::{PipelineConfig, SimStats, Simulation};
 use perconf::workload::spec2000_config;
 
 fn run(bench: &str, cfg: PipelineConfig, estimator: Option<i32>) -> SimStats {
-    let est: Box<dyn ConfidenceEstimator> = match estimator {
+    let est: Box<dyn SimEstimator> = match estimator {
         None => Box::new(AlwaysHigh),
         Some(lambda) => Box::new(PerceptronCe::new(PerceptronCeConfig {
             lambda,
@@ -22,7 +22,7 @@ fn run(bench: &str, cfg: PipelineConfig, estimator: Option<i32>) -> SimStats {
         cfg,
         &spec2000_config(bench).unwrap(),
         SpeculationController::new(
-            Box::new(baseline_bimodal_gshare()) as Box<dyn BranchPredictor>,
+            Box::new(baseline_bimodal_gshare()) as Box<dyn SimPredictor>,
             est,
         ),
     );

@@ -242,6 +242,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// Raw xoshiro256++ state, for snapshot/restore.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a previously captured [`state`].
+        /// An all-zero state (a fixed point of the generator) is nudged
+        /// the same way `from_seed` nudges it.
+        ///
+        /// [`state`]: SmallRng::state
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32

@@ -414,6 +414,33 @@ impl_tuple!(
     (A: 0, B: 1, C: 2, D: 3, E: 4),
 );
 
+impl<T: Serialize + Copy> Serialize for std::cell::Cell<T> {
+    fn to_value(&self) -> Value {
+        self.get().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::cell::Cell<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(std::cell::Cell::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
         Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
