@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]
-//!                    [--resume <dir>] [--seed <u64>]
+//!                    [--resume <dir>] [--seed <u64>] [--jobs <n>]
+//!                    [--timing <file>]
 //! repro verify [--bench <name>] [--full | --tiny]
 //!              [--trace <file> [--tolerant]]
 //!
@@ -17,6 +18,15 @@
 //! checkpoint continue from it instead of from scratch. `--seed` sets
 //! the fault-injection campaign seed (default 42).
 //!
+//! `--jobs <n>` fans independent sweep cells (and per-benchmark
+//! pipeline runs inside the table experiments) across `n` worker
+//! threads; `--jobs 0` means every available core, and the default is
+//! every core. Results are byte-identical at any job count — only
+//! wall-clock time changes. `--timing <file>` writes the per-cell
+//! wall-time/retry report of the `faults` sweep as JSON (wall time is
+//! inherently nondeterministic, which is why it lives in its own file
+//! rather than in the diffable result output).
+//!
 //! `verify` is the determinism self-check: a clean lockstep run of two
 //! identical machines must stay digest-identical, a snapshot written
 //! through the checksummed container and restored into a fresh machine
@@ -26,7 +36,7 @@
 //! `--tolerant` to skip corrupt records, resync and count them instead
 //! of aborting).
 
-use perconf_experiments::runner::{Runner, RunnerConfig};
+use perconf_experiments::runner::{default_jobs, RunnerConfig, Scheduler, SchedulerConfig};
 use perconf_experiments::{
     common, energy, faults, fig89, figs, latency, table2, table3, table4, table5, table6, verify,
     Scale,
@@ -41,6 +51,8 @@ struct Args {
     csv_dir: Option<PathBuf>,
     resume_dir: Option<PathBuf>,
     seed: u64,
+    jobs: usize,
+    timing: Option<PathBuf>,
     bench: String,
     trace: Option<PathBuf>,
     tolerant: bool,
@@ -53,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut resume_dir = None;
     let mut seed = 42;
+    let mut jobs = default_jobs();
+    let mut timing = None;
     let mut bench = "gcc".to_owned();
     let mut trace = None;
     let mut tolerant = false;
@@ -79,6 +93,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--jobs needs a worker count")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                jobs = if n == 0 { default_jobs() } else { n };
+            }
+            "--timing" => {
+                timing = Some(PathBuf::from(it.next().ok_or("--timing needs a file")?));
+            }
             "--bench" => {
                 bench = it.next().ok_or("--bench needs a benchmark name")?;
             }
@@ -102,6 +127,8 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         resume_dir,
         seed,
+        jobs,
+        timing,
         bench,
         trace,
         tolerant,
@@ -203,6 +230,50 @@ fn save_file(dir: &Option<PathBuf>, file: &str, body: &str) {
     }
 }
 
+/// Prints the per-cell wall-time/retry report to stderr (so the
+/// diffable table output on stdout stays deterministic) and, with
+/// `--timing`, writes it as JSON for CI to publish as an artifact.
+fn report_timings(
+    timings: &[perconf_experiments::runner::CellTiming],
+    jobs: usize,
+    timing_file: &Option<PathBuf>,
+) {
+    let total: f64 = timings.iter().map(|t| t.wall_s).sum();
+    eprintln!(
+        "[{} cells on {jobs} worker(s): {} executed, {} resumed, {} retries, {} failed; {total:.1} cell-seconds]",
+        timings.len(),
+        timings.iter().filter(|t| t.attempts > 0).count(),
+        timings.iter().filter(|t| t.resumed).count(),
+        timings.iter().map(|t| u64::from(t.retries)).sum::<u64>(),
+        timings.iter().filter(|t| !t.ok).count(),
+    );
+    for t in timings {
+        eprintln!(
+            "  {:<40} {:>8.2}s attempts={} retries={}{}{}{}",
+            t.key,
+            t.wall_s,
+            t.attempts,
+            t.retries,
+            if t.resumed { " resumed" } else { "" },
+            if t.resumed_mid_cell { " mid-cell" } else { "" },
+            if t.ok { "" } else { " FAILED" },
+        );
+    }
+    if let Some(path) = timing_file {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match serde_json::to_string_pretty(&timings.to_vec()) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, s) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize timing report: {e}"),
+        }
+    }
+}
+
 fn run_one(name: &str, args: &Args) -> Result<(), String> {
     let scale = args.scale;
     match name {
@@ -287,22 +358,24 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
             save_json(&args.json_dir, "energy", &e);
         }
         "faults" => {
-            let mut runner = match &args.resume_dir {
-                Some(dir) => Runner::new(RunnerConfig::resuming(dir)),
-                None => Runner::in_memory(),
+            let runner_cfg = match &args.resume_dir {
+                Some(dir) => RunnerConfig::resuming(dir),
+                None => RunnerConfig {
+                    timeout: None,
+                    ..RunnerConfig::default()
+                },
             };
-            let t = faults::run(scale, args.seed, &mut runner);
+            let mut scheduler = Scheduler::new(SchedulerConfig {
+                runner: runner_cfg,
+                jobs: args.jobs,
+            });
+            let (t, timings) = faults::run_grid(scale, args.seed, &faults::Grid::full(), &mut scheduler);
             println!("{}", t.render());
             println!(
                 "faults degrade metrics monotonically: {}",
                 t.degrades_monotonically()
             );
-            eprintln!(
-                "[{} cells executed, {} resumed from checkpoints, {} failed]",
-                runner.cells_executed(),
-                runner.cells_resumed(),
-                runner.failures().len()
-            );
+            report_timings(&timings, args.jobs, &args.timing);
             save_json(&args.json_dir, "faults", &t);
             if !t.failed.is_empty() {
                 return Err(format!(
@@ -331,13 +404,17 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>]\n\
+                "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>] [--jobs <n>] [--timing <file>]\n\
                  \x20      repro verify [--bench <name>] [--full | --tiny] [--trace <file> [--tolerant]]\n\
                  experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults verify all"
             );
             return ExitCode::FAILURE;
         }
     };
+    // Table/figure experiments parallelize per benchmark through the
+    // shared helper pool; the faults sweep parallelizes per cell via
+    // its Scheduler. Both honour the same --jobs value.
+    common::set_jobs(args.jobs);
     let start = std::time::Instant::now();
     let result = if args.experiment == "all" {
         ALL.iter().try_for_each(|name| {

@@ -4,11 +4,16 @@
 //! can serve as the repository's reproduction CI.
 //!
 //! ```text
-//! validate [--tiny | --full]
+//! validate [--tiny | --full] [--jobs <n>]
 //! ```
+//!
+//! `--jobs <n>` fans the per-benchmark pipeline runs inside each
+//! experiment across `n` worker threads (`0` = every core; default
+//! every core). Claim outcomes are byte-identical at any job count.
 
+use perconf_experiments::runner::default_jobs;
 use perconf_experiments::{
-    energy, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
+    common, energy, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
 };
 use std::process::ExitCode;
 
@@ -26,11 +31,30 @@ impl Checker {
 }
 
 fn main() -> ExitCode {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("--tiny") => Scale::tiny(),
-        Some("--full") => Scale::full(),
-        _ => Scale::quick(),
-    };
+    let mut scale = Scale::quick();
+    let mut jobs = default_jobs();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--tiny" => scale = Scale::tiny(),
+            "--full" => scale = Scale::full(),
+            "--jobs" => {
+                let n = argv
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a number");
+                        std::process::exit(2);
+                    });
+                jobs = if n == 0 { default_jobs() } else { n };
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: validate [--tiny | --full] [--jobs <n>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    common::set_jobs(jobs);
     let mut c = Checker { failures: 0 };
     let t0 = std::time::Instant::now();
 

@@ -72,6 +72,66 @@ impl Default for Scale {
     }
 }
 
+/// Process-wide worker-thread count for the data-parallel experiment
+/// stages ([`BaselineSet`], [`par_map_ordered`] call sites). The
+/// binaries set it once from `--jobs`; the default of 1 keeps library
+/// and test behaviour single-threaded unless explicitly raised.
+static JOBS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+/// Sets the process-wide experiment parallelism (clamped to ≥ 1).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The current process-wide experiment parallelism.
+#[must_use]
+pub fn jobs() -> usize {
+    JOBS.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads and
+/// returns the outputs **in input order** — the parallel analogue of
+/// `items.iter().map(f).collect()`, deterministic by construction:
+/// output slot `i` only ever holds `f(&items[i])`, whatever order the
+/// workers claim indices in. A panic in `f` propagates to the caller
+/// (use the [`runner::Scheduler`](crate::runner::Scheduler) when cells
+/// need isolation instead).
+pub fn par_map_ordered<I, O, F>(jobs: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<O>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let (f, next, slots_ref) = (&f, &next, &slots);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots_ref[i].lock().expect("slot lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every index is produced exactly once")
+        })
+        .collect()
+}
+
 /// Which baseline branch predictor a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PredictorKind {
@@ -215,14 +275,25 @@ impl BaselineSet {
     /// every benchmark on `pipe`.
     #[must_use]
     pub fn build(kind: PredictorKind, pipe: PipelineConfig, scale: Scale) -> Self {
-        let runs = benchmarks()
-            .into_iter()
-            .map(|wl| {
-                let ctl = controller(kind, Box::new(perconf_core::AlwaysHigh));
-                let stats = run_pipeline(&wl, pipe, ctl, scale);
-                (wl, stats)
-            })
-            .collect();
+        Self::build_on(kind, pipe, scale, benchmarks())
+    }
+
+    /// Like [`build`](Self::build) but over an explicit benchmark
+    /// subset (reduced-scale golden tests, focused studies). Baselines
+    /// run on up to [`jobs`] worker threads; results keep the given
+    /// benchmark order.
+    #[must_use]
+    pub fn build_on(
+        kind: PredictorKind,
+        pipe: PipelineConfig,
+        scale: Scale,
+        benchmarks: Vec<WorkloadConfig>,
+    ) -> Self {
+        let stats = par_map_ordered(jobs(), &benchmarks, |wl| {
+            let ctl = controller(kind, Box::new(perconf_core::AlwaysHigh));
+            run_pipeline(wl, pipe, ctl, scale)
+        });
+        let runs = benchmarks.into_iter().zip(stats).collect();
         Self { pipe, scale, runs }
     }
 
@@ -240,17 +311,21 @@ impl BaselineSet {
 
     /// Runs one gated/variant configuration for every benchmark and
     /// returns the mean outcome against the cached baselines, plus the
-    /// per-benchmark outcomes and variant stats.
+    /// per-benchmark outcomes and variant stats. Per-benchmark runs
+    /// fan out over [`jobs`] worker threads; the returned vectors keep
+    /// benchmark order, so the result is identical at any job count
+    /// (`mk_variant` builds a fresh controller per benchmark and must
+    /// not depend on call order).
     pub fn evaluate(
         &self,
         variant_cfg: PipelineConfig,
-        mut mk_variant: impl FnMut() -> Controller,
+        mk_variant: impl Fn() -> Controller + Sync,
     ) -> (GatingOutcome, Vec<(GatingOutcome, SimStats)>) {
-        let mut per = Vec::new();
-        for (wl, base) in &self.runs {
-            let var = run_pipeline(wl, variant_cfg, mk_variant(), self.scale);
-            per.push((outcome(base, &var), var));
-        }
+        let per: Vec<(GatingOutcome, SimStats)> =
+            par_map_ordered(jobs(), &self.runs, |(wl, base)| {
+                let var = run_pipeline(wl, variant_cfg, mk_variant(), self.scale);
+                (outcome(base, &var), var)
+            });
         let m = |f: &dyn Fn(&GatingOutcome) -> f64| {
             let xs: Vec<f64> = per.iter().map(|(o, _)| f(o)).collect();
             xs.iter().sum::<f64>() / xs.len().max(1) as f64

@@ -20,13 +20,18 @@
 //! was built for. [`FaultTable::degrades_monotonically`] encodes
 //! exactly that shape.
 //!
-//! Cells run through the [`Runner`](crate::runner::Runner): a panic or
-//! hang in one cell marks that cell failed and the sweep continues,
-//! and with `repro faults --resume <dir>` completed cells are loaded
-//! from checkpoints instead of recomputed.
+//! Cells run through the [`Scheduler`](crate::runner::Scheduler): a
+//! panic or hang in one cell marks that cell failed and the sweep
+//! continues; with `repro faults --resume <dir>` completed cells are
+//! loaded from checkpoints instead of recomputed, and `--jobs N` fans
+//! independent cells across worker threads. The sweep's output is
+//! byte-identical at any job count: cells are submitted and merged in
+//! canonical grid order ([`Grid`] iteration order), and every cell's
+//! randomness derives from [`cell_seed`] — a pure function of the
+//! campaign seed and the cell coordinates, never of scheduling order.
 
 use crate::common::{run_pipeline_checkpointed, trace_eval, Scale};
-use crate::runner::{CheckpointCell, Runner};
+use crate::runner::{CellSpec, CellTiming, CheckpointCell, Scheduler};
 use perconf_bpred::{baseline_bimodal_gshare, SimPredictor};
 use perconf_core::{
     JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
@@ -47,6 +52,38 @@ pub const BENCHMARKS: [&str; 3] = ["mcf", "twolf", "gcc"];
 
 /// Estimators compared under fault injection.
 pub const ESTIMATORS: [&str; 2] = ["perceptron", "jrs"];
+
+/// The (estimator × benchmark × rate) design space one sweep covers.
+/// Canonical cell order is estimator-major, then benchmark, then rate
+/// — the order [`cell_specs`] submits and every output reports in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Estimator names (see [`ESTIMATORS`]).
+    pub estimators: Vec<String>,
+    /// Benchmark names.
+    pub benchmarks: Vec<String>,
+    /// Per-access fault rates.
+    pub rates: Vec<f64>,
+}
+
+impl Grid {
+    /// The paper-extension sweep: both estimators, the representative
+    /// benchmark triple, all five decade-spaced rates.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            estimators: ESTIMATORS.iter().map(|s| (*s).to_owned()).collect(),
+            benchmarks: BENCHMARKS.iter().map(|s| (*s).to_owned()).collect(),
+            rates: RATES.to_vec(),
+        }
+    }
+
+    /// Number of cells in the grid.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.estimators.len() * self.benchmarks.len() * self.rates.len()
+    }
+}
 
 /// One completed sweep cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,8 +140,12 @@ pub struct FaultTable {
 }
 
 /// Deterministic per-cell seed: mixes the campaign seed with the cell
-/// coordinates so cells are independent but reproducible.
-fn cell_seed(seed: u64, bench: &str, estimator: &str, rate_idx: usize) -> u64 {
+/// coordinates so cells are independent but reproducible. This — not
+/// anything scheduling-derived — is the only randomness source a cell
+/// may use, which is what keeps parallel sweeps byte-identical to
+/// sequential ones.
+#[must_use]
+pub fn cell_seed(seed: u64, bench: &str, estimator: &str, rate_idx: usize) -> u64 {
     let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
     for b in bench.bytes().chain(estimator.bytes()) {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
@@ -211,48 +252,74 @@ pub fn run_cell(
     }
 }
 
-/// Runs the resilience sweep, one [`Runner`] cell per
-/// (benchmark × estimator × rate) point.
+/// Builds the sweep's cell list in canonical grid order, ready for a
+/// [`Scheduler`]. Exposed so tests can run arbitrary prefixes (the
+/// moral equivalent of a sweep killed mid-way) through the same code
+/// path the binaries use.
 #[must_use]
-pub fn run(scale: Scale, seed: u64, runner: &mut Runner) -> FaultTable {
-    let mut cells = Vec::new();
-    let mut failed = Vec::new();
-    for est in ESTIMATORS {
-        for bench in BENCHMARKS {
-            for (ri, &rate) in RATES.iter().enumerate() {
+pub fn cell_specs(scale: Scale, seed: u64, grid: &Grid) -> Vec<CellSpec<FaultCell>> {
+    let mut specs = Vec::with_capacity(grid.cell_count());
+    for est in &grid.estimators {
+        for bench in &grid.benchmarks {
+            for (ri, &rate) in grid.rates.iter().enumerate() {
                 // The campaign seed is part of the key so resuming
                 // with a different --seed recomputes instead of
                 // serving another campaign's checkpoints.
                 let key = format!("faults-s{seed}-{est}-{bench}-r{ri}");
                 let cs = cell_seed(seed, bench, est, ri);
-                let (b, e) = (bench.to_owned(), est.to_owned());
-                match runner
-                    .run_cell_resumable(&key, move |chk| run_cell(&b, &e, rate, cs, scale, chk))
-                {
-                    Ok(c) => cells.push(c),
-                    Err(_) => failed.push(key),
-                }
+                let (b, e) = (bench.clone(), est.clone());
+                specs.push(CellSpec::new(key, move |chk: &CheckpointCell| {
+                    run_cell(&b, &e, rate, cs, scale, chk)
+                }));
             }
         }
     }
-    let rows = aggregate(&cells);
-    FaultTable {
-        seed,
-        rows,
-        cells,
-        failed,
+    specs
+}
+
+/// Runs the resilience sweep, one scheduler cell per
+/// (estimator × benchmark × rate) point, fanned across the
+/// scheduler's worker threads. Returns the deterministically merged
+/// table plus the (wall-clock, hence nondeterministic) per-cell
+/// timing rows.
+#[must_use]
+pub fn run_grid(
+    scale: Scale,
+    seed: u64,
+    grid: &Grid,
+    scheduler: &mut Scheduler,
+) -> (FaultTable, Vec<CellTiming>) {
+    let report = scheduler.run_cells(cell_specs(scale, seed, grid));
+    let timings = report.timings();
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    for r in report.cells {
+        match r.outcome {
+            Ok(c) => cells.push(c),
+            Err(_) => failed.push(r.key),
+        }
     }
+    let rows = aggregate(grid, &cells);
+    (
+        FaultTable {
+            seed,
+            rows,
+            cells,
+            failed,
+        },
+        timings,
+    )
 }
 
 /// Means per (estimator, rate) over whatever benchmarks completed;
 /// IPC loss is measured against the same benchmark's zero-rate cell.
-fn aggregate(cells: &[FaultCell]) -> Vec<FaultRow> {
+fn aggregate(grid: &Grid, cells: &[FaultCell]) -> Vec<FaultRow> {
     let mut rows = Vec::new();
-    for est in ESTIMATORS {
-        for &rate in &RATES {
+    for est in &grid.estimators {
+        for &rate in &grid.rates {
             let in_point: Vec<&FaultCell> = cells
                 .iter()
-                .filter(|c| c.estimator == est && c.rate == rate)
+                .filter(|c| &c.estimator == est && c.rate == rate)
                 .collect();
             if in_point.is_empty() {
                 continue;
@@ -267,7 +334,7 @@ fn aggregate(cells: &[FaultCell]) -> Vec<FaultRow> {
                         cells
                             .iter()
                             .find(|z| {
-                                z.estimator == est && z.benchmark == c.benchmark && z.rate == 0.0
+                                &z.estimator == est && z.benchmark == c.benchmark && z.rate == 0.0
                             })
                             .map(|z| 1.0 - c.ipc / z.ipc)
                     })
@@ -339,11 +406,19 @@ impl FaultTable {
     pub fn degrades_monotonically(&self) -> bool {
         const QUALITY_SLACK: f64 = 1.02; // 2% relative noise allowance
         const IPC_TOL: f64 = 0.5; // percentage points of IPC loss
-        let quality_falls = ESTIMATORS.iter().all(|est| {
+        // Estimators present in the rows, in first-appearance order
+        // (the sweep grid may be a subset of ESTIMATORS).
+        let mut estimators: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !estimators.contains(&r.estimator.as_str()) {
+                estimators.push(&r.estimator);
+            }
+        }
+        let quality_falls = estimators.iter().all(|est| {
             let q: Vec<f64> = self
                 .rows
                 .iter()
-                .filter(|r| &r.estimator == est)
+                .filter(|r| r.estimator == *est)
                 .map(|r| r.pvn * r.spec)
                 .collect();
             q.len() >= 2
@@ -485,7 +560,7 @@ mod tests {
             mk("jrs", "mcf", 0.0, 1.0),
             mk("jrs", "mcf", 1e-2, 0.8),
         ];
-        let rows = aggregate(&cells);
+        let rows = aggregate(&Grid::full(), &cells);
         assert_eq!(rows.len(), 2);
         let dirty = rows.iter().find(|r| r.rate == 1e-2).unwrap();
         // Mean of 25% and 20% loss.

@@ -50,11 +50,22 @@ pub struct Fig8 {
 /// Runs the combined gating + reversal experiment.
 #[must_use]
 pub fn run(machine: Machine, scale: Scale) -> Fig8 {
+    run_on(machine, scale, crate::common::benchmarks())
+}
+
+/// Like [`run`] but over an explicit benchmark list (reduced-scale
+/// golden tests cover the combo cells this way).
+#[must_use]
+pub fn run_on(
+    machine: Machine,
+    scale: Scale,
+    benchmarks: Vec<perconf_workload::WorkloadConfig>,
+) -> Fig8 {
     let pipe = match machine {
         Machine::Deep => PipelineConfig::deep(),
         Machine::Wide => PipelineConfig::wide(),
     };
-    let baselines = BaselineSet::build(PredictorKind::BimodalGshare, pipe, scale);
+    let baselines = BaselineSet::build_on(PredictorKind::BimodalGshare, pipe, scale, benchmarks);
     let (_, per) = baselines.evaluate(pipe.gated(2), || {
         controller(
             PredictorKind::BimodalGshare,

@@ -24,9 +24,14 @@
 //! | `energy` | energy / energy×delay of gating (extension) | [`energy`] |
 //! | `faults` | resilience under fault injection (extension) | [`faults`] |
 //!
-//! Long sweeps run their cells through [`runner::Runner`], which
+//! Long sweeps run their cells through [`runner::Runner`] (one cell
+//! at a time) or [`runner::Scheduler`] (`--jobs N` worker threads
+//! over a shared queue); both drive the same per-cell engine, which
 //! isolates panics, applies watchdog timeouts, and checkpoints
 //! completed cells so `repro --resume <dir>` skips finished work.
+//! Scheduler output is byte-identical for any job count: results
+//! merge in canonical sweep order and every cell seeds from its grid
+//! coordinates, never from scheduling order.
 //!
 //! Absolute numbers differ from the paper (the substrate is a
 //! synthetic-trace simulator, not Intel's LIT testbed — see

@@ -1,4 +1,5 @@
-//! Panic-isolated, watchdogged, resumable sweep runner.
+//! Panic-isolated, watchdogged, resumable sweep execution —
+//! sequential ([`Runner`]) and parallel ([`Scheduler`]).
 //!
 //! Large sweeps ((benchmark × estimator × config) grids) used to be
 //! all-or-nothing: one panicking or hanging cell killed hours of
@@ -11,14 +12,27 @@
 //!
 //! A failed cell produces a [`RunError`] value — the sweep continues
 //! and the driver reports which cells are missing rather than dying.
+//!
+//! [`Scheduler`] fans a whole cell list out across a bounded pool of
+//! worker threads (`--jobs` in the binaries) while keeping the exact
+//! per-cell semantics above — both frontends share one cell-execution
+//! engine ([`execute_cell`]). Its determinism contract: the merged
+//! [`SweepReport`] lists cells in **submission (canonical) order**
+//! regardless of worker count or completion order, per-cell checkpoint
+//! files depend only on the cell key, and nothing a cell computes may
+//! depend on scheduling (derive per-cell RNG seeds from the cell
+//! coordinates, never from execution order). Wall-clock timings are
+//! the one intentionally nondeterministic output and live in the
+//! separate [`CellTiming`] report.
 
 use crate::snapfile;
 use serde::{Deserialize, DeserializeOwned, Serialize, Value};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a sweep cell failed, after exhausting its retry budget.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -202,6 +216,318 @@ impl CheckpointCell {
     }
 }
 
+/// Worker threads abandoned by the watchdog, shared between the
+/// sequential and parallel frontends. They cannot be killed, but they
+/// are *kept* (not leaked detached) and joined as soon as they finish,
+/// bounding the number of live stray threads.
+type Zombies = Arc<Mutex<Vec<thread::JoinHandle<()>>>>;
+
+/// A sweep cell's work function: receives its mid-run checkpoint
+/// handle, returns the cell result.
+type WorkFn<T> = Arc<dyn Fn(&CheckpointCell) -> T + Send + Sync>;
+
+/// The worker-thread count "use every core" resolves to.
+#[must_use]
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Joins every abandoned worker that has since run to completion and
+/// returns how many are still alive.
+fn reap_zombie_list(zombies: &Zombies) -> usize {
+    let mut z = zombies.lock().expect("zombie list lock");
+    let mut live = Vec::new();
+    for handle in z.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join();
+        } else {
+            live.push(handle);
+        }
+    }
+    *z = live;
+    z.len()
+}
+
+/// What happened to one sweep cell, as reported by the shared
+/// cell-execution engine. Every submitted cell produces exactly one
+/// report with a terminal outcome.
+#[derive(Debug)]
+pub struct CellReport<T> {
+    /// The cell key.
+    pub key: String,
+    /// Terminal outcome: the cell value, or the last error after the
+    /// retry budget was exhausted.
+    pub outcome: Result<T, RunError>,
+    /// The value was loaded from a *final* checkpoint; the cell did
+    /// not execute at all.
+    pub resumed: bool,
+    /// A mid-run (`*.part.psnap`) checkpoint existed when the cell
+    /// started, so its first attempt continued mid-cell rather than
+    /// from scratch. Continuing from a partial checkpoint is **not** a
+    /// retry: it does not increment [`attempts`](Self::attempts).
+    pub resumed_mid_cell: bool,
+    /// In-process executions of the work function (0 when `resumed`).
+    pub attempts: u32,
+    /// Wall-clock time spent on this cell (loading, attempts, backoff).
+    /// Nondeterministic by nature — excluded from merged result files.
+    pub wall: Duration,
+}
+
+impl<T> CellReport<T> {
+    /// Attempts beyond the first, i.e. actual re-executions. A cell
+    /// that resumed from a partial checkpoint and finished on its
+    /// first attempt has 0 retries.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+
+    /// The serializable timing/accounting row for this cell.
+    #[must_use]
+    pub fn timing(&self) -> CellTiming {
+        CellTiming {
+            key: self.key.clone(),
+            wall_s: self.wall.as_secs_f64(),
+            attempts: self.attempts,
+            retries: self.retries(),
+            resumed: self.resumed,
+            resumed_mid_cell: self.resumed_mid_cell,
+            ok: self.outcome.is_ok(),
+        }
+    }
+}
+
+/// Per-cell wall-time and retry accounting, published by the binaries
+/// (`--timing`) so sweep speedups and flaky cells are observable.
+/// Wall time is wall-clock: keep this out of byte-compared outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// The cell key.
+    pub key: String,
+    /// Wall-clock seconds spent on the cell.
+    pub wall_s: f64,
+    /// In-process executions (0 = served from a final checkpoint).
+    pub attempts: u32,
+    /// Re-executions beyond the first attempt. Resuming from a
+    /// mid-cell checkpoint does not count.
+    pub retries: u32,
+    /// Result was loaded from a final checkpoint.
+    pub resumed: bool,
+    /// First attempt continued from a mid-cell checkpoint.
+    pub resumed_mid_cell: bool,
+    /// The cell reached a successful terminal status.
+    pub ok: bool,
+}
+
+/// The shared per-cell engine: final-checkpoint resume, failure-marker
+/// clearing, mid-cell checkpoint wiring, panic-isolated watchdogged
+/// attempts with exponential backoff, checkpoint/marker persistence.
+/// Both [`Runner::run_cell_resumable`] and [`Scheduler::run_cells`]
+/// funnel through here, so the two frontends cannot drift.
+fn execute_cell<T>(cfg: &RunnerConfig, zombies: &Zombies, key: &str, work: WorkFn<T>) -> CellReport<T>
+where
+    T: Serialize + DeserializeOwned + Send + 'static,
+{
+    let start = Instant::now();
+    reap_zombie_list(zombies);
+    let cell = match partial_file(cfg, key) {
+        Some(p) => CheckpointCell::at(p),
+        None => CheckpointCell::disabled(),
+    };
+    let mut resumed_mid_cell = false;
+    if cfg.resume {
+        if let Some(v) = load_final_checkpoint(cfg, key) {
+            // The final result exists; any leftover partial state is
+            // stale.
+            cell.clear();
+            return CellReport {
+                key: key.to_owned(),
+                outcome: Ok(v),
+                resumed: true,
+                resumed_mid_cell: false,
+                attempts: 0,
+                wall: start.elapsed(),
+            };
+        }
+        // A stale failure marker means this cell is being retried.
+        if let Some(p) = failed_file(cfg, key) {
+            let _ = std::fs::remove_file(p);
+        }
+        // Recorded *before* any attempt runs: continuing a killed
+        // cell's mid-run state is a resume, not a retry, and must not
+        // inflate the aggregate retry count.
+        resumed_mid_cell = cell.path().is_some_and(Path::exists);
+    } else {
+        // A fresh (non-resume) sweep must not silently continue from
+        // some earlier run's mid-cell state.
+        cell.clear();
+    }
+    let work_cell = cell.clone();
+    let thunk: Arc<dyn Fn() -> T + Send + Sync> = Arc::new(move || work(&work_cell));
+    let mut attempts = 0u32;
+    let mut last = RunError::Panic {
+        message: "cell never ran".to_owned(),
+    };
+    for attempt in 0..=cfg.retries {
+        if attempt > 0 {
+            thread::sleep(cfg.backoff * (1 << (attempt - 1)));
+        }
+        attempts += 1;
+        match run_attempt(cfg.timeout, zombies, Arc::clone(&thunk)) {
+            Ok(v) => {
+                if let Err(e) = write_final_checkpoint(cfg, key, &v) {
+                    eprintln!("warning: cell {key}: {e}");
+                }
+                cell.clear();
+                return CellReport {
+                    key: key.to_owned(),
+                    outcome: Ok(v),
+                    resumed: false,
+                    resumed_mid_cell,
+                    attempts,
+                    wall: start.elapsed(),
+                };
+            }
+            Err(e) => {
+                eprintln!("warning: cell {key} attempt {attempt}: {e}");
+                last = e;
+            }
+        }
+    }
+    write_failure_marker(cfg, key, &last);
+    CellReport {
+        key: key.to_owned(),
+        outcome: Err(last),
+        resumed: false,
+        resumed_mid_cell,
+        attempts,
+        wall: start.elapsed(),
+    }
+}
+
+/// One isolated attempt: worker thread + `catch_unwind` + watchdog.
+fn run_attempt<T>(
+    timeout: Option<Duration>,
+    zombies: &Zombies,
+    work: Arc<dyn Fn() -> T + Send + Sync>,
+) -> Result<T, RunError>
+where
+    T: Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::Builder::new()
+        .name("sweep-cell".to_owned())
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| work()));
+            // Receiver gone = watchdog already gave up on us.
+            let _ = tx.send(result);
+        })
+        .map_err(|e| RunError::Io {
+            message: format!("cannot spawn worker: {e}"),
+        })?;
+    let outcome = match timeout {
+        Some(t) => match rx.recv_timeout(t) {
+            Ok(r) => {
+                // The worker has reported; it exits imminently.
+                let _ = handle.join();
+                r
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // The worker cannot be killed. Keep its handle so it
+                // is joined as soon as it finishes (reaped at the next
+                // cell) instead of leaking detached.
+                zombies.lock().expect("zombie list lock").push(handle);
+                return Err(RunError::Timeout {
+                    seconds: t.as_secs_f64(),
+                });
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = handle.join();
+                Err(Box::new(String::from("worker vanished without reporting"))
+                    as Box<dyn std::any::Any + Send>)
+            }
+        },
+        None => {
+            let r = rx.recv().unwrap_or_else(|_| {
+                Err(Box::new(String::from("worker vanished without reporting"))
+                    as Box<dyn std::any::Any + Send>)
+            });
+            let _ = handle.join();
+            r
+        }
+    };
+    outcome.map_err(|payload| RunError::Panic {
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+fn checkpoint_file(cfg: &RunnerConfig, key: &str) -> Option<PathBuf> {
+    cfg.checkpoint_dir
+        .as_ref()
+        .map(|d| d.join(format!("{}.json", sanitize(key))))
+}
+
+fn failed_file(cfg: &RunnerConfig, key: &str) -> Option<PathBuf> {
+    cfg.checkpoint_dir
+        .as_ref()
+        .map(|d| d.join(format!("{}.failed.json", sanitize(key))))
+}
+
+fn partial_file(cfg: &RunnerConfig, key: &str) -> Option<PathBuf> {
+    cfg.checkpoint_dir
+        .as_ref()
+        .map(|d| d.join(format!("{}.part.psnap", sanitize(key))))
+}
+
+fn load_final_checkpoint<T: DeserializeOwned>(cfg: &RunnerConfig, key: &str) -> Option<T> {
+    let path = checkpoint_file(cfg, key)?;
+    let text = std::fs::read_to_string(&path).ok()?;
+    match serde_json::from_str(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            // Corrupt checkpoint: drop it and recompute the cell.
+            eprintln!(
+                "warning: discarding unreadable checkpoint {}: {e}",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&path);
+            None
+        }
+    }
+}
+
+fn write_final_checkpoint<T: Serialize>(
+    cfg: &RunnerConfig,
+    key: &str,
+    value: &T,
+) -> Result<(), RunError> {
+    let Some(path) = checkpoint_file(cfg, key) else {
+        return Ok(());
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let text = serde_json::to_string_pretty(value).map_err(|e| RunError::Io {
+        message: format!("cannot serialize checkpoint: {e}"),
+    })?;
+    std::fs::write(&path, text)?;
+    Ok(())
+}
+
+fn write_failure_marker(cfg: &RunnerConfig, key: &str, err: &RunError) {
+    let Some(path) = failed_file(cfg, key) else {
+        return;
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(text) = serde_json::to_string_pretty(err) {
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("warning: cannot write failure marker for {key}: {e}");
+        }
+    }
+}
+
 /// Executes sweep cells with panic isolation, a watchdog, retries and
 /// JSON checkpointing. See the module docs.
 #[derive(Debug)]
@@ -210,10 +536,7 @@ pub struct Runner {
     failures: Vec<(String, RunError)>,
     executed: u64,
     resumed: u64,
-    /// Workers abandoned by the watchdog. They cannot be killed, but
-    /// they are *kept* (not leaked detached) and joined as soon as
-    /// they finish, bounding the number of live stray threads.
-    zombies: Vec<thread::JoinHandle<()>>,
+    zombies: Zombies,
 }
 
 impl Runner {
@@ -226,7 +549,7 @@ impl Runner {
             failures: Vec::new(),
             executed: 0,
             resumed: 0,
-            zombies: Vec::new(),
+            zombies: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -261,48 +584,25 @@ impl Runner {
     /// The checkpoint file a cell key maps to, if persistence is on.
     #[must_use]
     pub fn checkpoint_path(&self, key: &str) -> Option<PathBuf> {
-        self.cfg
-            .checkpoint_dir
-            .as_ref()
-            .map(|d| d.join(format!("{}.json", sanitize(key))))
+        checkpoint_file(&self.cfg, key)
     }
 
     /// The failure-marker file a cell key maps to.
     #[must_use]
     pub fn failed_path(&self, key: &str) -> Option<PathBuf> {
-        self.cfg
-            .checkpoint_dir
-            .as_ref()
-            .map(|d| d.join(format!("{}.failed.json", sanitize(key))))
+        failed_file(&self.cfg, key)
     }
 
     /// The mid-run (partial) checkpoint file a cell key maps to.
     #[must_use]
     pub fn partial_path(&self, key: &str) -> Option<PathBuf> {
-        self.cfg
-            .checkpoint_dir
-            .as_ref()
-            .map(|d| d.join(format!("{}.part.psnap", sanitize(key))))
+        partial_file(&self.cfg, key)
     }
 
     /// Watchdog-abandoned workers still running right now. Joins (and
     /// forgets) any that have finished since the last check.
     pub fn zombie_count(&mut self) -> usize {
-        self.reap_zombies();
-        self.zombies.len()
-    }
-
-    /// Joins every abandoned worker that has since run to completion.
-    fn reap_zombies(&mut self) {
-        let mut live = Vec::new();
-        for handle in self.zombies.drain(..) {
-            if handle.is_finished() {
-                let _ = handle.join();
-            } else {
-                live.push(handle);
-            }
-        }
-        self.zombies = live;
+        reap_zombie_list(&self.zombies)
     }
 
     /// Runs one sweep cell.
@@ -345,152 +645,206 @@ impl Runner {
         T: Serialize + DeserializeOwned + Send + 'static,
         F: Fn(&CheckpointCell) -> T + Send + Sync + 'static,
     {
-        self.reap_zombies();
-        let cell = match self.partial_path(key) {
-            Some(p) => CheckpointCell::at(p),
-            None => CheckpointCell::disabled(),
-        };
-        if self.cfg.resume {
-            if let Some(v) = self.load_checkpoint(key) {
-                self.resumed += 1;
-                // The final result exists; any leftover partial state
-                // is stale.
-                cell.clear();
-                return Ok(v);
-            }
-            // A stale failure marker means this cell is being retried.
-            if let Some(p) = self.failed_path(key) {
-                let _ = std::fs::remove_file(p);
-            }
-        } else {
-            // A fresh (non-resume) sweep must not silently continue
-            // from some earlier run's mid-cell state.
-            cell.clear();
+        let report = execute_cell(&self.cfg, &self.zombies, key, Arc::new(work) as WorkFn<T>);
+        self.executed += u64::from(report.attempts);
+        if report.resumed {
+            self.resumed += 1;
         }
-        let work_cell = cell.clone();
-        let work = Arc::new(move || work(&work_cell));
-        let mut last = RunError::Panic {
-            message: "cell never ran".to_owned(),
-        };
-        for attempt in 0..=self.cfg.retries {
-            if attempt > 0 {
-                thread::sleep(self.cfg.backoff * (1 << (attempt - 1)));
-            }
-            self.executed += 1;
-            match self.attempt(Arc::clone(&work)) {
-                Ok(v) => {
-                    if let Err(e) = self.write_checkpoint(key, &v) {
-                        eprintln!("warning: cell {key}: {e}");
-                    }
-                    cell.clear();
-                    return Ok(v);
-                }
-                Err(e) => {
-                    eprintln!("warning: cell {key} attempt {attempt}: {e}");
-                    last = e;
-                }
-            }
+        if let Err(e) = &report.outcome {
+            self.failures.push((report.key.clone(), e.clone()));
         }
-        self.mark_failed(key, &last);
-        self.failures.push((key.to_owned(), last.clone()));
-        Err(last)
+        report.outcome
     }
+}
 
-    /// One isolated attempt: worker thread + catch_unwind + watchdog.
-    fn attempt<T, F>(&mut self, work: Arc<F>) -> Result<T, RunError>
+/// A sweep cell prepared for the [`Scheduler`]: a key plus the work
+/// function, submitted in canonical order.
+pub struct CellSpec<T> {
+    key: String,
+    work: WorkFn<T>,
+}
+
+impl<T> CellSpec<T> {
+    /// Packages a cell. `work` receives the cell's [`CheckpointCell`]
+    /// exactly as in [`Runner::run_cell_resumable`].
+    #[must_use]
+    pub fn new<F>(key: impl Into<String>, work: F) -> Self
     where
-        T: Send + 'static,
-        F: Fn() -> T + Send + Sync + 'static,
+        F: Fn(&CheckpointCell) -> T + Send + Sync + 'static,
     {
-        let (tx, rx) = mpsc::channel();
-        let handle = thread::Builder::new()
-            .name("sweep-cell".to_owned())
-            .spawn(move || {
-                let result = panic::catch_unwind(AssertUnwindSafe(|| work()));
-                // Receiver gone = watchdog already gave up on us.
-                let _ = tx.send(result);
-            })
-            .map_err(|e| RunError::Io {
-                message: format!("cannot spawn worker: {e}"),
-            })?;
-        let outcome = match self.cfg.timeout {
-            Some(t) => match rx.recv_timeout(t) {
-                Ok(r) => {
-                    // The worker has reported; it exits imminently.
-                    let _ = handle.join();
-                    r
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // The worker cannot be killed. Keep its handle so
-                    // it is joined as soon as it finishes (reaped at
-                    // the next cell) instead of leaking detached.
-                    self.zombies.push(handle);
-                    return Err(RunError::Timeout {
-                        seconds: t.as_secs_f64(),
-                    });
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    let _ = handle.join();
-                    Err(Box::new(String::from("worker vanished without reporting"))
-                        as Box<dyn std::any::Any + Send>)
-                }
-            },
-            None => {
-                let r = rx.recv().unwrap_or_else(|_| {
-                    Err(Box::new(String::from("worker vanished without reporting"))
-                        as Box<dyn std::any::Any + Send>)
+        Self {
+            key: key.into(),
+            work: Arc::new(work),
+        }
+    }
+
+    /// The cell key.
+    #[must_use]
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl<T> std::fmt::Debug for CellSpec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellSpec").field("key", &self.key).finish()
+    }
+}
+
+/// Isolation + parallelism policy for a [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Per-cell isolation and checkpointing (shared with [`Runner`]).
+    pub runner: RunnerConfig,
+    /// Worker threads. `0` means [`default_jobs`] (every core).
+    pub jobs: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            runner: RunnerConfig::default(),
+            jobs: 1,
+        }
+    }
+}
+
+/// The merged result of a parallel sweep: one [`CellReport`] per
+/// submitted cell, **in submission order** — byte-identical aggregate
+/// output no matter how many workers ran it or in what order cells
+/// finished.
+#[derive(Debug)]
+pub struct SweepReport<T> {
+    /// Per-cell reports, in the order the cells were submitted.
+    pub cells: Vec<CellReport<T>>,
+}
+
+impl<T> SweepReport<T> {
+    /// Total in-process work-function executions (attempts), summed.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.attempts)).sum()
+    }
+
+    /// Cells served from final checkpoints without executing.
+    #[must_use]
+    pub fn resumed(&self) -> u64 {
+        self.cells.iter().filter(|c| c.resumed).count() as u64
+    }
+
+    /// Total retries (attempts beyond each cell's first). Mid-cell
+    /// checkpoint resumes do not count — see [`CellReport::retries`].
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.retries())).sum()
+    }
+
+    /// Cells whose retry budget was exhausted, in submission order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<(&str, &RunError)> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err().map(|e| (c.key.as_str(), e)))
+            .collect()
+    }
+
+    /// Per-cell timing/accounting rows, in submission order.
+    #[must_use]
+    pub fn timings(&self) -> Vec<CellTiming> {
+        self.cells.iter().map(CellReport::timing).collect()
+    }
+}
+
+/// Bounded-concurrency parallel sweep scheduler.
+///
+/// Fans a canonical list of [`CellSpec`]s out across
+/// [`jobs`](Self::jobs) coordinator threads pulling from a shared
+/// atomic work queue. Each coordinator runs its claimed cell through
+/// the same engine as [`Runner`] — per-cell watchdog, panic isolation
+/// via a separate attempt thread, bounded retry with backoff, final
+/// and mid-run ([`CheckpointCell`]) checkpoints — so `--jobs N` never
+/// changes failure semantics, only wall-clock time.
+///
+/// # Determinism contract
+///
+/// * Reports are merged by submission index, never completion order.
+/// * Checkpoint files are a pure function of the cell key.
+/// * Cell work must seed any randomness from its own coordinates
+///   (e.g. `faults::cell_seed`), never from scheduling state.
+///
+/// Under that contract the merged [`SweepReport`] — and anything
+/// serialized from it except [`CellTiming::wall_s`] — is byte-stable
+/// across `jobs = 1..=N` and across mid-sweep kills + resumes.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    zombies: Zombies,
+}
+
+impl Scheduler {
+    /// Builds a scheduler.
+    #[must_use]
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Self {
+            cfg,
+            zombies: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The effective worker count (`0` in the config resolves to
+    /// [`default_jobs`]).
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        if self.cfg.jobs == 0 {
+            default_jobs()
+        } else {
+            self.cfg.jobs
+        }
+    }
+
+    /// Watchdog-abandoned attempt threads still running; joins any
+    /// that have finished since the last check.
+    pub fn zombie_count(&mut self) -> usize {
+        reap_zombie_list(&self.zombies)
+    }
+
+    /// Runs every cell and returns the deterministically merged
+    /// report. Blocks until all coordinator threads have drained the
+    /// queue and joined; only watchdog-abandoned attempt threads can
+    /// outlive this call (tracked via [`zombie_count`](Self::zombie_count)).
+    pub fn run_cells<T>(&mut self, cells: Vec<CellSpec<T>>) -> SweepReport<T>
+    where
+        T: Serialize + DeserializeOwned + Send + 'static,
+    {
+        let n = cells.len();
+        let workers = self.jobs().clamp(1, n.max(1));
+        let slots: Vec<Mutex<Option<CellReport<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let cfg = &self.cfg.runner;
+        let (cells_ref, slots_ref, next_ref) = (&cells, &slots, &next);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let zombies = Arc::clone(&self.zombies);
+                s.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let spec = &cells_ref[i];
+                    let report = execute_cell(cfg, &zombies, &spec.key, Arc::clone(&spec.work));
+                    *slots_ref[i].lock().expect("result slot lock") = Some(report);
                 });
-                let _ = handle.join();
-                r
             }
-        };
-        outcome.map_err(|payload| RunError::Panic {
-            message: panic_message(payload.as_ref()),
-        })
-    }
-
-    fn load_checkpoint<T: DeserializeOwned>(&mut self, key: &str) -> Option<T> {
-        let path = self.checkpoint_path(key)?;
-        let text = std::fs::read_to_string(&path).ok()?;
-        match serde_json::from_str(&text) {
-            Ok(v) => Some(v),
-            Err(e) => {
-                // Corrupt checkpoint: drop it and recompute the cell.
-                eprintln!(
-                    "warning: discarding unreadable checkpoint {}: {e}",
-                    path.display()
-                );
-                let _ = std::fs::remove_file(&path);
-                None
-            }
-        }
-    }
-
-    fn write_checkpoint<T: Serialize>(&self, key: &str, value: &T) -> Result<(), RunError> {
-        let Some(path) = self.checkpoint_path(key) else {
-            return Ok(());
-        };
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        let text = serde_json::to_string_pretty(value).map_err(|e| RunError::Io {
-            message: format!("cannot serialize checkpoint: {e}"),
-        })?;
-        std::fs::write(&path, text)?;
-        Ok(())
-    }
-
-    fn mark_failed(&self, key: &str, err: &RunError) {
-        let Some(path) = self.failed_path(key) else {
-            return;
-        };
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        if let Ok(text) = serde_json::to_string_pretty(err) {
-            if let Err(e) = std::fs::write(&path, text) {
-                eprintln!("warning: cannot write failure marker for {key}: {e}");
-            }
+        });
+        SweepReport {
+            cells: slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("result slot lock")
+                        .expect("every submitted cell reports exactly once")
+                })
+                .collect(),
         }
     }
 }
@@ -743,5 +1097,223 @@ mod tests {
         cell.store(&Value::UInt(7));
         cell.clear();
         assert!(cell.path().is_none());
+    }
+
+    #[test]
+    fn scheduler_merges_in_submission_order_regardless_of_jobs() {
+        for jobs in [1usize, 2, 7] {
+            let mut s = Scheduler::new(SchedulerConfig {
+                runner: RunnerConfig {
+                    timeout: None,
+                    retries: 0,
+                    ..RunnerConfig::default()
+                },
+                jobs,
+            });
+            let cells: Vec<CellSpec<u64>> = (0..20u64)
+                .map(|i| {
+                    CellSpec::new(format!("cell-{i:02}"), move |_| {
+                        // Stagger finish times so completion order and
+                        // submission order genuinely differ.
+                        thread::sleep(Duration::from_millis((20 - i) % 5));
+                        i * 10
+                    })
+                })
+                .collect();
+            let report = s.run_cells(cells);
+            assert_eq!(report.cells.len(), 20);
+            for (i, c) in report.cells.iter().enumerate() {
+                assert_eq!(c.key, format!("cell-{i:02}"), "jobs={jobs}");
+                assert_eq!(*c.outcome.as_ref().unwrap(), i as u64 * 10);
+            }
+            assert_eq!(report.executed(), 20);
+            assert_eq!(report.retries(), 0);
+            assert!(report.failures().is_empty());
+        }
+    }
+
+    #[test]
+    fn scheduler_isolates_failures_per_cell() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            runner: RunnerConfig {
+                timeout: None,
+                retries: 1,
+                backoff: Duration::from_millis(1),
+                ..RunnerConfig::default()
+            },
+            jobs: 4,
+        });
+        let cells: Vec<CellSpec<u32>> = (0..8u32)
+            .map(|i| {
+                CellSpec::new(format!("c{i}"), move |_| {
+                    assert!(i % 3 != 0, "injected failure in c{i}");
+                    i
+                })
+            })
+            .collect();
+        let report = s.run_cells(cells);
+        let failed: Vec<&str> = report.failures().iter().map(|(k, _)| *k).collect();
+        assert_eq!(failed, ["c0", "c3", "c6"], "canonical order, only the poisoned cells");
+        // Each failing cell burned 1 retry; the healthy ones none.
+        assert_eq!(report.retries(), 3);
+        assert_eq!(report.executed(), 5 + 3 * 2);
+    }
+
+    #[test]
+    fn resume_from_partial_checkpoint_is_not_a_retry() {
+        // Regression: a cell continuing from a `.part.psnap` mid-run
+        // checkpoint (e.g. after a mid-sweep kill) must report 0
+        // retries — the resume is not a re-execution, and aggregate
+        // stats must not double-count it.
+        let dir = fresh_dir("sched-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = RunnerConfig {
+            retries: 2,
+            timeout: None,
+            backoff: Duration::from_millis(1),
+            ..RunnerConfig::resuming(&dir)
+        };
+        // Plant the mid-cell state a killed run would have left.
+        snapfile::write(&partial_file(&cfg, "cell").unwrap(), &Value::UInt(5)).unwrap();
+        let mut s = Scheduler::new(SchedulerConfig {
+            runner: cfg,
+            jobs: 2,
+        });
+        let report = s.run_cells(vec![CellSpec::new("cell", |cell: &CheckpointCell| {
+            let n = match cell.load() {
+                Some(Value::UInt(n)) => n,
+                Some(Value::Int(n)) if n >= 0 => n as u64,
+                _ => 0,
+            };
+            assert_eq!(n, 5, "must continue from the planted mid-cell state");
+            n + 5
+        })]);
+        let c = &report.cells[0];
+        assert_eq!(*c.outcome.as_ref().unwrap(), 10);
+        assert!(c.resumed_mid_cell);
+        assert!(!c.resumed);
+        assert_eq!(c.attempts, 1);
+        assert_eq!(c.retries(), 0, "mid-cell resume must not count as a retry");
+        assert_eq!(report.retries(), 0);
+        assert_eq!(report.executed(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_process_mid_cell_resume_counts_the_retry_exactly_once() {
+        // First attempt checkpoints progress then dies; the in-process
+        // retry continues from the partial state. That is exactly one
+        // retry — not two (resume + retry double-count).
+        use std::sync::atomic::AtomicU32;
+        let dir = fresh_dir("sched-retry-once");
+        let mut s = Scheduler::new(SchedulerConfig {
+            runner: RunnerConfig {
+                retries: 2,
+                timeout: None,
+                backoff: Duration::from_millis(1),
+                ..RunnerConfig::resuming(&dir)
+            },
+            jobs: 1,
+        });
+        let attempts = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&attempts);
+        let report = s.run_cells(vec![CellSpec::new("cell", move |cell: &CheckpointCell| {
+            let first = a.fetch_add(1, Ordering::SeqCst) == 0;
+            let mut n = match cell.load() {
+                Some(Value::UInt(n)) => n,
+                Some(Value::Int(n)) if n >= 0 => n as u64,
+                _ => 0,
+            };
+            while n < 10 {
+                n += 1;
+                cell.store(&Value::UInt(n));
+                if first && n == 6 {
+                    panic!("injected mid-cell death");
+                }
+            }
+            n
+        })]);
+        let c = &report.cells[0];
+        assert_eq!(*c.outcome.as_ref().unwrap(), 10);
+        assert_eq!(c.attempts, 2);
+        assert_eq!(c.retries(), 1, "one death, one retry — no double count");
+        assert_eq!(report.retries(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scheduler_resumes_final_checkpoints_without_executing() {
+        let dir = fresh_dir("sched-resume");
+        let mk = || {
+            Scheduler::new(SchedulerConfig {
+                runner: RunnerConfig {
+                    retries: 0,
+                    timeout: None,
+                    ..RunnerConfig::resuming(&dir)
+                },
+                jobs: 3,
+            })
+        };
+        let cells = |calls: &Arc<std::sync::atomic::AtomicU32>| -> Vec<CellSpec<u64>> {
+            (0..6u64)
+                .map(|i| {
+                    let c = Arc::clone(calls);
+                    CellSpec::new(format!("k{i}"), move |_| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        i
+                    })
+                })
+                .collect()
+        };
+        let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let first = mk().run_cells(cells(&calls));
+        assert_eq!(first.executed(), 6);
+        assert_eq!(calls.load(Ordering::SeqCst), 6);
+
+        let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let second = mk().run_cells(cells(&calls));
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "all cells come from checkpoints");
+        assert_eq!(second.resumed(), 6);
+        assert_eq!(second.executed(), 0);
+        for (i, c) in second.cells.iter().enumerate() {
+            assert_eq!(*c.outcome.as_ref().unwrap(), i as u64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+        let s = Scheduler::new(SchedulerConfig {
+            runner: RunnerConfig::default(),
+            jobs: 0,
+        });
+        assert_eq!(s.jobs(), default_jobs());
+    }
+
+    #[test]
+    fn cell_timing_reflects_the_report() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            runner: RunnerConfig {
+                timeout: None,
+                retries: 1,
+                backoff: Duration::from_millis(1),
+                ..RunnerConfig::default()
+            },
+            jobs: 2,
+        });
+        let report = s.run_cells(vec![
+            CellSpec::new("ok", |_| 1u32),
+            CellSpec::new("bad", |_| -> u32 { panic!("always") }),
+        ]);
+        let t = report.timings();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].ok && t[0].retries == 0);
+        assert!(!t[1].ok && t[1].retries == 1 && t[1].attempts == 2);
+        // Timing rows survive the JSON round trip (they are published
+        // as build artifacts).
+        let text = serde_json::to_string(&t).unwrap();
+        let back: Vec<CellTiming> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, t);
     }
 }

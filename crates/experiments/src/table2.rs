@@ -47,11 +47,19 @@ pub fn shapes() -> [(&'static str, PipelineConfig); 3] {
     ]
 }
 
-/// Runs the Table 2 experiment.
+/// Runs the Table 2 experiment over every benchmark.
 #[must_use]
 pub fn run(scale: Scale) -> Table2 {
-    let mut rows = Vec::new();
-    for wl in crate::common::benchmarks() {
+    run_on(scale, &crate::common::benchmarks())
+}
+
+/// Runs Table 2 over an explicit benchmark list (reduced-scale golden
+/// tests, focused studies). Benchmarks fan out over
+/// [`common::jobs`](crate::common::jobs) worker threads; rows keep the
+/// given order.
+#[must_use]
+pub fn run_on(scale: Scale, benchmarks: &[perconf_workload::WorkloadConfig]) -> Table2 {
+    let rows = crate::common::par_map_ordered(crate::common::jobs(), benchmarks, |wl| {
         let mut waste = [WastePair {
             executed: 0.0,
             fetched: 0.0,
@@ -62,7 +70,7 @@ pub fn run(scale: Scale) -> Table2 {
                 PredictorKind::BimodalGshare.build(),
                 Box::new(AlwaysHigh) as Box<dyn perconf_core::SimEstimator>,
             );
-            let s = run_pipeline(&wl, cfg, ctl, scale);
+            let s = run_pipeline(wl, cfg, ctl, scale);
             waste[i] = WastePair {
                 executed: s.wasted_execution_frac() * 100.0,
                 fetched: if s.fetched_correct == 0 {
@@ -75,12 +83,12 @@ pub fn run(scale: Scale) -> Table2 {
                 mpku = s.mpku();
             }
         }
-        rows.push(Table2Row {
+        Table2Row {
             bench: wl.name.clone(),
             mpku,
             waste,
-        });
-    }
+        }
+    });
     Table2 { rows }
 }
 

@@ -36,7 +36,7 @@ pub struct Table4 {
 /// against precomputed baselines.
 pub fn run_point(
     baselines: &BaselineSet,
-    mk_est: &dyn Fn() -> Box<dyn perconf_core::SimEstimator>,
+    mk_est: &(dyn Fn() -> Box<dyn perconf_core::SimEstimator> + Sync),
     pl: u32,
 ) -> GatingOutcome {
     let (mean, _) = baselines.evaluate(baselines.pipe().gated(pl), || {
