@@ -9,7 +9,7 @@ use perconf_bpred::{baseline_bimodal_gshare, BranchPredictor, Gshare, Perceptron
 use perconf_core::{
     ConfidenceEstimator, EstimateCtx, JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig,
 };
-use perconf_pipeline::{Cache, CacheConfig, PipelineConfig, Simulation};
+use perconf_pipeline::{obs, Cache, CacheConfig, PipelineConfig, Simulation};
 use perconf_workload::WorkloadGenerator;
 use std::hint::black_box;
 use std::time::Duration;
@@ -152,6 +152,81 @@ fn simulator_bench(c: &mut Criterion) {
             black_box(sim.run(20_000).cycles)
         });
     });
+    // The same run with the whole observability stack attached and
+    // live: event tracing at Standard level (a no-op ZST unless built
+    // with `--features trace`) plus per-stage profiling. The gap to
+    // the bench above is the total observability cost.
+    g.bench_function("cycle-throughput-20k-uops-observed", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::with_defaults(PipelineConfig::deep(), &wl);
+            let tracer = obs::Tracer::new();
+            tracer.set_level(obs::TraceLevel::Standard);
+            let profiler = obs::Profiler::default();
+            profiler.enable(true);
+            sim.set_tracer(tracer);
+            sim.set_profiler(profiler);
+            black_box(sim.run(20_000).cycles)
+        });
+    });
+    g.finish();
+}
+
+fn obs_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    g.throughput(Throughput::Elements(N));
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    // Cost of one record() call with the tracer live. Compiled out
+    // (the default) this measures the empty inlined stub; with
+    // `--features trace` it measures the ring-buffer push.
+    g.bench_function("tracer-record", |b| {
+        let t = obs::Tracer::new();
+        t.set_level(obs::TraceLevel::Standard);
+        b.iter(|| {
+            for i in 0..N {
+                t.record(obs::TraceEvent::BranchResolved {
+                    cycle: i,
+                    pc: i * 4,
+                    mispredicted: i % 7 == 0,
+                });
+            }
+            black_box(t.enabled())
+        });
+    });
+    // The disabled profiler costs one relaxed atomic load per scope;
+    // the enabled one adds two clock reads and a map update.
+    g.bench_function("profiler-scope-disabled", |b| {
+        let p = obs::Profiler::default();
+        b.iter(|| {
+            for _ in 0..N {
+                let _s = p.scope("bench/span");
+            }
+            black_box(p.enabled())
+        });
+    });
+    g.bench_function("profiler-scope-enabled", |b| {
+        let p = obs::Profiler::default();
+        p.enable(true);
+        b.iter(|| {
+            for _ in 0..N {
+                let _s = p.scope("bench/span");
+            }
+            black_box(p.enabled())
+        });
+    });
+    // Counters are materialized on demand, never maintained in the
+    // cycle loop; this is the cost of building a full snapshot.
+    g.bench_function("counters-snapshot", |b| {
+        let wl = perconf_workload::spec2000_config("gcc").unwrap();
+        let mut sim = Simulation::with_defaults(PipelineConfig::deep(), &wl);
+        sim.run(2_000);
+        b.iter(|| {
+            for _ in 0..N / 100 {
+                black_box(sim.counters());
+            }
+        });
+    });
     g.finish();
 }
 
@@ -161,6 +236,7 @@ criterion_group!(
     estimator_bench,
     workload_bench,
     cache_bench,
-    simulator_bench
+    simulator_bench,
+    obs_bench
 );
 criterion_main!(benches);

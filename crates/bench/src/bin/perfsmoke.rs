@@ -1,0 +1,262 @@
+//! `perfsmoke` — the CI perf-gating lane.
+//!
+//! ```text
+//! perfsmoke [--out <file>] [--baseline <file>] [--runs <k>]
+//! perfsmoke --write-baseline [--baseline <file>] [--runs <k>]
+//! ```
+//!
+//! Runs a small fixed set of wall-clock probes (best-of-`k`, default
+//! 9), writes the measurements to `--out` (default `BENCH_ci.json`,
+//! uploaded as a CI artifact) and compares the **pipeline probe**
+//! against the checked-in baseline (default
+//! `results/BENCH_baseline.json`). Exits non-zero when the pipeline
+//! probe regresses more than 10%.
+//!
+//! Raw wall-clock numbers are not comparable across machines, so every
+//! probe is *normalized* by a pure-CPU calibration loop measured in the
+//! same process: `normalized = probe_secs / calibration_secs`. The
+//! gate compares normalized values, which makes the checked-in baseline
+//! portable across CI runner generations (it cancels the machine's
+//! scalar speed, not its microarchitectural quirks — hence the generous
+//! 10% threshold and best-of-k minimum to reject scheduler noise).
+//!
+//! Regenerating the baseline (after an intentional perf change, on a
+//! quiet machine):
+//!
+//! ```text
+//! cargo run --release -p perconf-bench --bin perfsmoke -- --write-baseline
+//! ```
+//!
+//! The default build compiles the event tracer out, so the pipeline
+//! probe here is the *tracing-disabled* number — the one the
+//! zero-overhead contract is about.
+
+#![forbid(unsafe_code)]
+
+use perconf_pipeline::{PipelineConfig, Simulation};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Allowed relative regression of the gated probe before CI fails.
+const THRESHOLD: f64 = 0.10;
+
+/// The probe the gate applies to; everything else is informational.
+const GATED: &str = "sim/cycle-throughput-20k";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Probe {
+    name: String,
+    /// Best-of-k wall seconds for one probe pass.
+    secs: f64,
+    /// `secs / calibration_secs` — the machine-portable number.
+    normalized: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    /// Best-of-k wall seconds of the calibration loop.
+    calibration_secs: f64,
+    probes: Vec<Probe>,
+}
+
+impl Report {
+    fn probe(&self, name: &str) -> Option<&Probe> {
+        self.probes.iter().find(|p| p.name == name)
+    }
+}
+
+/// One timed pass of `f`, in seconds.
+fn time_once<F: FnMut()>(f: &mut F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+/// Measures everything together, *interleaved*: each round times the
+/// calibration loop then every probe once, and each keeps its
+/// best-of-rounds minimum. Interleaving means the calibration and the
+/// probes sample the same wall-clock window, so transient co-tenant
+/// interference (common on shared CI runners) inflates both and mostly
+/// cancels out of the normalized ratio; the minimum then discards any
+/// round that was hit anyway.
+fn measure(runs: u32) -> Report {
+    let buf: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+    let mut acc = 0u64;
+    // Pure-CPU calibration loop: FNV-hash a 1 MiB buffer 16 times. No
+    // allocation, no branchy simulation — just a stable scalar
+    // workload that tracks the machine's single-thread speed.
+    let mut cal = || {
+        for _ in 0..16 {
+            acc = acc.wrapping_add(perconf_bpred::digest_bytes(&buf));
+        }
+    };
+
+    let wl = perconf_workload::spec2000_config("gcc").expect("gcc workload");
+    let mut sim_probe = || {
+        let mut sim = Simulation::with_defaults(PipelineConfig::deep(), &wl);
+        black_box(sim.run(20_000).cycles);
+    };
+    let mut pred_probe = || {
+        use perconf_bpred::BranchPredictor;
+        let mut p = perconf_bpred::baseline_bimodal_gshare();
+        for i in 0..10_000u64 {
+            let pc = (i * 29) % 4096 * 4;
+            let hist = i.wrapping_mul(0x9E37_79B9);
+            let pred = p.predict(pc, hist);
+            p.train(pc, hist, pred ^ (i % 7 == 0));
+        }
+        black_box(&p);
+    };
+    let mut est_probe = || {
+        use perconf_core::ConfidenceEstimator;
+        let mut ce = perconf_core::PerceptronCe::new(perconf_core::PerceptronCeConfig::default());
+        for i in 0..10_000u64 {
+            let ctx = perconf_core::EstimateCtx {
+                pc: (i * 29) % 4096 * 4,
+                history: i.wrapping_mul(0x9E37_79B9),
+                predicted_taken: i % 3 == 0,
+            };
+            let est = ce.estimate(&ctx);
+            ce.train(&ctx, est, i % 11 == 0);
+        }
+        black_box(&ce);
+    };
+
+    // Untimed warm-up pass of everything.
+    cal();
+    sim_probe();
+    pred_probe();
+    est_probe();
+
+    let mut cal_best = f64::INFINITY;
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..runs.max(1) {
+        cal_best = cal_best.min(time_once(&mut cal));
+        best[0] = best[0].min(time_once(&mut sim_probe));
+        best[1] = best[1].min(time_once(&mut pred_probe));
+        best[2] = best[2].min(time_once(&mut est_probe));
+    }
+    black_box(acc);
+
+    let names = [GATED, "predictor/hybrid-10k", "estimator/perceptron-ce-10k"];
+    Report {
+        calibration_secs: cal_best,
+        probes: names
+            .iter()
+            .zip(best)
+            .map(|(name, secs)| Probe {
+                name: (*name).to_owned(),
+                secs,
+                normalized: secs / cal_best,
+            })
+            .collect(),
+    }
+}
+
+fn write_json(path: &PathBuf, report: &Report) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    let body =
+        serde_json::to_string_pretty(report).map_err(|e| format!("cannot serialize: {e}"))?;
+    std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn run() -> Result<(), String> {
+    let mut out = PathBuf::from("BENCH_ci.json");
+    let mut baseline = PathBuf::from("results/BENCH_baseline.json");
+    let mut write_baseline = false;
+    let mut runs = 9u32;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a file")?),
+            "--baseline" => baseline = PathBuf::from(it.next().ok_or("--baseline needs a file")?),
+            "--write-baseline" => write_baseline = true,
+            "--runs" => {
+                runs = it
+                    .next()
+                    .ok_or("--runs needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument: {other}\nusage: perfsmoke [--out <file>] [--baseline <file>] [--write-baseline] [--runs <k>]"
+                ))
+            }
+        }
+    }
+
+    let report = measure(runs);
+    eprintln!("calibration: {:.3} ms", report.calibration_secs * 1e3);
+    for p in &report.probes {
+        eprintln!(
+            "  {:<32} {:>9.3} ms  (normalized {:.2})",
+            p.name,
+            p.secs * 1e3,
+            p.normalized
+        );
+    }
+
+    if write_baseline {
+        write_json(&baseline, &report)?;
+        eprintln!("baseline -> {}", baseline.display());
+        return Ok(());
+    }
+
+    write_json(&out, &report)?;
+    eprintln!("report -> {}", out.display());
+
+    let base_body = std::fs::read_to_string(&baseline).map_err(|e| {
+        format!(
+            "cannot read baseline {}: {e}\nregenerate it with: cargo run --release -p perconf-bench --bin perfsmoke -- --write-baseline",
+            baseline.display()
+        )
+    })?;
+    let base: Report = serde_json::from_str(&base_body)
+        .map_err(|e| format!("malformed baseline {}: {e}", baseline.display()))?;
+
+    let now = report
+        .probe(GATED)
+        .ok_or_else(|| format!("probe {GATED} missing from this run"))?;
+    let was = base.probe(GATED).ok_or_else(|| {
+        format!(
+            "probe {GATED} missing from baseline {} — regenerate it",
+            baseline.display()
+        )
+    })?;
+    let ratio = now.normalized / was.normalized;
+    eprintln!(
+        "gate {GATED}: normalized {:.2} vs baseline {:.2} (x{ratio:.3}, threshold x{:.3})",
+        now.normalized,
+        was.normalized,
+        1.0 + THRESHOLD
+    );
+    if ratio > 1.0 + THRESHOLD {
+        return Err(format!(
+            "performance gate failed: {GATED} is {:.1}% slower than the baseline (limit {:.0}%). \
+             If this slowdown is intentional, regenerate the baseline: \
+             cargo run --release -p perconf-bench --bin perfsmoke -- --write-baseline",
+            (ratio - 1.0) * 100.0,
+            THRESHOLD * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

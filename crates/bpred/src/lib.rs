@@ -61,7 +61,9 @@ pub use history::GlobalHistory;
 pub use hybrid::Hybrid;
 pub use pas::PasPredictor;
 pub use perceptron::{flip_weight_bit, perceptron_theta, PerceptronPredictor};
-pub use snapshot::{digest_value, SimPredictor, Snapshot, SnapshotError, StateDigest};
+pub use snapshot::{
+    digest_bytes, digest_value, SimPredictor, Snapshot, SnapshotError, StateDigest,
+};
 pub use tage::Tage;
 pub use traits::BranchPredictor;
 

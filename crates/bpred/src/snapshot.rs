@@ -225,6 +225,16 @@ impl StateDigest {
     }
 }
 
+/// Digests a byte slice in one call — the hash used for on-disk
+/// container payloads (snapshot and trace files), exposed here so
+/// every consumer shares a single FNV-1a implementation.
+#[must_use]
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut d = StateDigest::new();
+    d.bytes(bytes);
+    d.finish()
+}
+
 /// Digests an arbitrary value tree. Slower than a hand-rolled field
 /// digest (it walks the serialised form) but handy as a fallback for
 /// components whose state is digested rarely.

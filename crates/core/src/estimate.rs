@@ -30,6 +30,29 @@ pub enum ConfidenceClass {
     StrongLow,
 }
 
+impl ConfidenceClass {
+    /// Stable numeric index used by trace events and counter names:
+    /// 0 = `High`, 1 = `WeakLow`, 2 = `StrongLow`.
+    #[must_use]
+    pub fn index(self) -> u64 {
+        match self {
+            ConfidenceClass::High => 0,
+            ConfidenceClass::WeakLow => 1,
+            ConfidenceClass::StrongLow => 2,
+        }
+    }
+
+    /// Short stable display name (trace exports, counter names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfidenceClass::High => "high",
+            ConfidenceClass::WeakLow => "weak_low",
+            ConfidenceClass::StrongLow => "strong_low",
+        }
+    }
+}
+
 /// The result of one confidence lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Estimate {
@@ -113,6 +136,20 @@ mod tests {
         assert!(!mk(ConfidenceClass::High).is_low());
         assert!(mk(ConfidenceClass::WeakLow).is_low());
         assert!(mk(ConfidenceClass::StrongLow).is_low());
+    }
+
+    #[test]
+    fn class_indices_and_labels_are_stable() {
+        let all = [
+            ConfidenceClass::High,
+            ConfidenceClass::WeakLow,
+            ConfidenceClass::StrongLow,
+        ];
+        assert_eq!(all.map(ConfidenceClass::index), [0, 1, 2]);
+        assert_eq!(
+            all.map(ConfidenceClass::label),
+            ["high", "weak_low", "strong_low"]
+        );
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //! ```text
 //! repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]
 //!                    [--resume <dir>] [--seed <u64>] [--jobs <n>]
-//!                    [--timing <file>]
+//!                    [--timing <file>] [--profile] [--metrics-out <file>]
+//!                    [--trace-out <file>] [--force]
 //! repro verify [--bench <name>] [--full | --tiny]
 //!              [--trace <file> [--tolerant]]
+//! repro obs <file.pobs> [--jsonl <file>] [--force]
 //!
 //! experiments: table2 table3 table4 table5 table6
 //!              fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults
-//!              verify all
+//!              verify obs all
 //! ```
 //!
 //! `--resume <dir>` checkpoints every sweep cell into `<dir>` and, on
@@ -27,6 +29,26 @@
 //! inherently nondeterministic, which is why it lives in its own file
 //! rather than in the diffable result output).
 //!
+//! Observability (all derived outputs — none of them changes a single
+//! simulated bit, see `perconf-obs`):
+//!
+//! * `--profile` turns on per-phase profiling and prints the
+//!   self/child wall-time table to stderr after the run;
+//! * `--metrics-out <file>` writes a JSON object with the run's merged
+//!   hierarchical counter snapshot (for experiments that produce one;
+//!   currently the `faults` sweep) and the profile rows;
+//! * `--trace-out <file>` records structured events during the run and
+//!   flushes them to a checksummed `.pobs` trace. In default builds
+//!   the tracer is compiled out and the trace is empty; build with
+//!   `--features trace` to capture events;
+//! * `repro obs <file.pobs>` summarizes a recorded trace (event counts
+//!   by kind, drops) and exports it as JSON lines with `--jsonl`.
+//!
+//! Output files named by `--timing`, `--metrics-out`, `--trace-out`
+//! and `--jsonl` are written atomically (temp file + rename) and are
+//! **refused** if the destination already exists, unless `--force` is
+//! given.
+//!
 //! `verify` is the determinism self-check: a clean lockstep run of two
 //! identical machines must stay digest-identical, a snapshot written
 //! through the checksummed container and restored into a fresh machine
@@ -41,11 +63,72 @@ use perconf_experiments::{
     common, energy, faults, fig89, figs, latency, table2, table3, table4, table5, table6, verify,
     Scale,
 };
-use std::path::PathBuf;
+use perconf_obs::{pobs, CounterSnapshot, TraceLevel, Tracer};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Writes `body` to `path` atomically (sibling temp file + rename),
+/// refusing to replace an existing file unless `force` is set. The
+/// temp file is fsynced before the rename, matching the snapshot
+/// container's crash-safety conventions.
+fn write_guarded(path: &Path, body: &str, force: bool) -> Result<(), String> {
+    if path.exists() && !force {
+        return Err(format!(
+            "refusing to overwrite {} (pass --force to replace it)",
+            path.display()
+        ));
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    let mut tmp_name = path
+        .file_name()
+        .map_or_else(|| "out".into(), std::ffi::OsStr::to_os_string);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    (|| -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })()
+    .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Up-front collision check for every `--*-out` style destination, so
+/// an hours-long sweep is not thrown away at write time.
+fn check_output_paths(args: &Args) -> Result<(), String> {
+    if args.force {
+        return Ok(());
+    }
+    for path in [
+        &args.timing,
+        &args.metrics_out,
+        &args.trace_out,
+        &args.jsonl,
+    ]
+    .into_iter()
+    .flatten()
+    {
+        if path.exists() {
+            return Err(format!(
+                "output file {} already exists (pass --force to replace it)",
+                path.display()
+            ));
+        }
+    }
+    Ok(())
+}
 
 struct Args {
     experiment: String,
+    /// Second positional argument (the trace file for `repro obs`).
+    input: Option<String>,
     scale: Scale,
     json_dir: Option<PathBuf>,
     csv_dir: Option<PathBuf>,
@@ -56,10 +139,16 @@ struct Args {
     bench: String,
     trace: Option<PathBuf>,
     tolerant: bool,
+    profile: bool,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    jsonl: Option<PathBuf>,
+    force: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = None;
+    let mut input = None;
     let mut scale = Scale::quick();
     let mut json_dir = None;
     let mut csv_dir = None;
@@ -70,6 +159,11 @@ fn parse_args() -> Result<Args, String> {
     let mut bench = "gcc".to_owned();
     let mut trace = None;
     let mut tolerant = false;
+    let mut profile = false;
+    let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut jsonl = None;
+    let mut force = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -111,17 +205,34 @@ fn parse_args() -> Result<Args, String> {
                 trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
             }
             "--tolerant" => tolerant = true,
+            "--profile" => profile = true,
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a file")?,
+                ));
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a file")?));
+            }
+            "--jsonl" => {
+                jsonl = Some(PathBuf::from(it.next().ok_or("--jsonl needs a file")?));
+            }
+            "--force" => force = true,
             "--help" | "-h" => {
                 return Err(String::new());
             }
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_owned());
             }
+            other if experiment.is_some() && input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     Ok(Args {
         experiment: experiment.ok_or("missing experiment name")?,
+        input,
         scale,
         json_dir,
         csv_dir,
@@ -132,6 +243,11 @@ fn parse_args() -> Result<Args, String> {
         bench,
         trace,
         tolerant,
+        profile,
+        metrics_out,
+        trace_out,
+        jsonl,
+        force,
     })
 }
 
@@ -237,6 +353,7 @@ fn report_timings(
     timings: &[perconf_experiments::runner::CellTiming],
     jobs: usize,
     timing_file: &Option<PathBuf>,
+    force: bool,
 ) {
     let total: f64 = timings.iter().map(|t| t.wall_s).sum();
     eprintln!(
@@ -260,13 +377,10 @@ fn report_timings(
         );
     }
     if let Some(path) = timing_file {
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
         match serde_json::to_string_pretty(&timings.to_vec()) {
             Ok(s) => {
-                if let Err(e) = std::fs::write(path, s) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
+                if let Err(e) = write_guarded(path, &s, force) {
+                    eprintln!("warning: {e}");
                 }
             }
             Err(e) => eprintln!("warning: cannot serialize timing report: {e}"),
@@ -274,7 +388,39 @@ fn report_timings(
     }
 }
 
-fn run_one(name: &str, args: &Args) -> Result<(), String> {
+/// Summarizes a recorded `.pobs` trace and optionally exports it as
+/// JSON lines (`--jsonl <file>`, guarded like every other output).
+fn run_obs(args: &Args) -> Result<(), String> {
+    let input = args
+        .input
+        .as_deref()
+        .ok_or("obs needs a trace file argument: repro obs <file.pobs>")?;
+    let path = Path::new(input);
+    let t = pobs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    println!(
+        "trace {}: {} event(s), {} dropped at capture",
+        path.display(),
+        t.events.len(),
+        t.dropped
+    );
+    for (kind, n) in t.counts_by_kind() {
+        println!("  {kind:<20} {n:>10}");
+    }
+    if let Some(out) = &args.jsonl {
+        let body = t
+            .to_jsonl()
+            .map_err(|e| format!("cannot export JSON lines: {e}"))?;
+        write_guarded(out, &body, args.force)?;
+        eprintln!("[jsonl -> {}]", out.display());
+    }
+    Ok(())
+}
+
+/// Runs one named experiment. `counters` is an out-parameter: the
+/// experiments that produce a merged [`CounterSnapshot`] (currently the
+/// `faults` sweep) deposit it there so `main` can include it in
+/// `--metrics-out`.
+fn run_one(name: &str, args: &Args, counters: &mut Option<CounterSnapshot>) -> Result<(), String> {
     let scale = args.scale;
     match name {
         "table2" => {
@@ -369,13 +515,15 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
                 runner: runner_cfg,
                 jobs: args.jobs,
             });
-            let (t, timings) = faults::run_grid(scale, args.seed, &faults::Grid::full(), &mut scheduler);
+            let (t, timings) =
+                faults::run_grid(scale, args.seed, &faults::Grid::full(), &mut scheduler);
             println!("{}", t.render());
             println!(
                 "faults degrade metrics monotonically: {}",
                 t.degrades_monotonically()
             );
-            report_timings(&timings, args.jobs, &args.timing);
+            *counters = Some(t.counters.clone());
+            report_timings(&timings, args.jobs, &args.timing, args.force);
             save_json(&args.json_dir, "faults", &t);
             if !t.failed.is_empty() {
                 return Err(format!(
@@ -386,6 +534,7 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
             }
         }
         "verify" => run_verify(args)?,
+        "obs" => run_obs(args)?,
         other => return Err(format!("unknown experiment: {other}")),
     }
     Ok(())
@@ -396,6 +545,51 @@ const ALL: [&str; 12] = [
     "energy", "faults",
 ];
 
+/// Post-run observability output: the profile table on stderr, the
+/// merged counters + profile rows as `--metrics-out` JSON, and the
+/// drained event ring as a `--trace-out` `.pobs` file. Runs whether or
+/// not the experiment itself succeeded — a profile of a failed run is
+/// still a profile.
+fn finish_obs(args: &Args, counters: &Option<CounterSnapshot>) -> Result<(), String> {
+    if args.profile {
+        eprint!("{}", common::profiler().report().render());
+    }
+    if let Some(path) = &args.metrics_out {
+        let report = common::profiler().report();
+        let metrics = serde::Value::Object(vec![
+            (
+                "counters".to_owned(),
+                counters
+                    .as_ref()
+                    .and_then(|c| serde_json::to_value(c).ok())
+                    .unwrap_or(serde::Value::Null),
+            ),
+            (
+                "profile".to_owned(),
+                serde_json::to_value(&report).unwrap_or(serde::Value::Null),
+            ),
+        ]);
+        let body = serde_json::to_string_pretty(&metrics)
+            .map_err(|e| format!("cannot serialize metrics: {e}"))?;
+        write_guarded(path, &body, args.force)?;
+        eprintln!("[metrics -> {}]", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        let (events, dropped) = common::tracer().drain();
+        // `pobs::write` is already atomic; existence was checked up
+        // front by `check_output_paths`.
+        pobs::write(path, &events, dropped)
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+        eprintln!(
+            "[trace: {} event(s), {} dropped -> {}]",
+            events.len(),
+            dropped,
+            path.display()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -405,25 +599,45 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>] [--jobs <n>] [--timing <file>]\n\
+                 \x20            [--profile] [--metrics-out <file>] [--trace-out <file>] [--force]\n\
                  \x20      repro verify [--bench <name>] [--full | --tiny] [--trace <file> [--tolerant]]\n\
-                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults verify all"
+                 \x20      repro obs <file.pobs> [--jsonl <file>] [--force]\n\
+                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults verify obs all"
             );
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = check_output_paths(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.profile {
+        common::profiler().enable(true);
+    }
+    if args.trace_out.is_some() {
+        if !Tracer::COMPILED {
+            eprintln!(
+                "warning: tracer is compiled out in this build — the trace will be empty \
+                 (rebuild with `--features trace` to capture events)"
+            );
+        }
+        common::tracer().set_level(TraceLevel::Standard);
+    }
     // Table/figure experiments parallelize per benchmark through the
     // shared helper pool; the faults sweep parallelizes per cell via
     // its Scheduler. Both honour the same --jobs value.
     common::set_jobs(args.jobs);
     let start = std::time::Instant::now();
+    let mut counters = None;
     let result = if args.experiment == "all" {
         ALL.iter().try_for_each(|name| {
             println!("\n================ {name} ================\n");
-            run_one(name, &args)
+            run_one(name, &args, &mut counters)
         })
     } else {
-        run_one(&args.experiment, &args)
+        run_one(&args.experiment, &args, &mut counters)
     };
+    let result = result.and(finish_obs(&args, &counters));
     match result {
         Ok(()) => {
             eprintln!("\n[{:.1}s elapsed]", start.elapsed().as_secs_f64());

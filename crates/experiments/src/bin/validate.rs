@@ -49,7 +49,9 @@ fn main() -> ExitCode {
                 jobs = if n == 0 { default_jobs() } else { n };
             }
             other => {
-                eprintln!("unknown argument {other}; usage: validate [--tiny | --full] [--jobs <n>]");
+                eprintln!(
+                    "unknown argument {other}; usage: validate [--tiny | --full] [--jobs <n>]"
+                );
                 return ExitCode::FAILURE;
             }
         }

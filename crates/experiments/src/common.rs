@@ -11,6 +11,7 @@ use perconf_core::{
     PerceptronTnt, PerceptronTntConfig, SimEstimator, SpeculationController,
 };
 use perconf_metrics::{ConfusionMatrix, DensityPair};
+use perconf_obs::{Profiler, TraceEvent, Tracer};
 use perconf_pipeline::{Controller, PipelineConfig, SimError, SimStats, Simulation};
 use perconf_workload::{spec2000, WorkloadConfig, WorkloadGenerator};
 use serde::{Deserialize, Serialize, Value};
@@ -87,6 +88,42 @@ pub fn set_jobs(n: usize) {
 #[must_use]
 pub fn jobs() -> usize {
     JOBS.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Process-wide observability context: one [`Tracer`] ring and one
+/// [`Profiler`] table shared by every simulation the experiment
+/// drivers build, whatever worker thread it runs on. Both start
+/// disabled (level `Off`, profiling off), so library and test runs pay
+/// one relaxed atomic load per guard and nothing else; the binaries
+/// turn them on from `--trace-out` / `--profile`.
+static OBS: std::sync::OnceLock<(Tracer, Profiler)> = std::sync::OnceLock::new();
+
+fn obs() -> &'static (Tracer, Profiler) {
+    OBS.get_or_init(|| (Tracer::new(), Profiler::default()))
+}
+
+/// The process-wide tracer every driver-built simulation records into.
+#[must_use]
+pub fn tracer() -> &'static Tracer {
+    &obs().0
+}
+
+/// An owned handle on the process-wide tracer, for attaching to a
+/// simulation.
+// With the `trace` feature off the handle is a `Copy` ZST and this
+// clone is flagged as redundant; with the feature on it is an `Arc`
+// clone and required. One allow here keeps the call sites identical
+// in both builds.
+#[allow(clippy::clone_on_copy)]
+fn tracer_handle() -> Tracer {
+    tracer().clone()
+}
+
+/// The process-wide profiler every driver-built simulation and
+/// experiment phase reports into.
+#[must_use]
+pub fn profiler() -> &'static Profiler {
+    &obs().1
 }
 
 /// Maps `f` over `items` on up to `jobs` scoped worker threads and
@@ -365,7 +402,13 @@ pub fn run_pipeline(
     scale: Scale,
 ) -> SimStats {
     let mut sim = Simulation::new(cfg, wl, ctl);
-    sim.warmup(scale.warmup_uops);
+    sim.set_tracer(tracer_handle());
+    sim.set_profiler(profiler().clone());
+    {
+        let _s = profiler().scope("phase/warmup");
+        sim.warmup(scale.warmup_uops);
+    }
+    let _s = profiler().scope("phase/run");
     sim.run(scale.run_uops).clone()
 }
 
@@ -406,6 +449,8 @@ pub fn run_pipeline_checkpointed(
 ) -> Result<Simulation, SimError> {
     let interval = interval.max(1);
     let mut sim = Simulation::new(cfg, wl, mk_ctl());
+    sim.set_tracer(tracer_handle());
+    sim.set_profiler(profiler().clone());
     let mut phase = PHASE_WARMUP;
     if let Some(saved) = cell.load() {
         let restored = (|| -> Result<u64, String> {
@@ -423,16 +468,26 @@ pub fn run_pipeline_checkpointed(
                 // rebuild rather than trust it.
                 eprintln!("warning: discarding unusable mid-run checkpoint: {e}");
                 sim = Simulation::new(cfg, wl, mk_ctl());
+                sim.set_tracer(tracer_handle());
+                sim.set_profiler(profiler().clone());
             }
         }
     }
     let checkpoint = |sim: &Simulation, phase: u64| {
+        if tracer().enabled() {
+            tracer().record(TraceEvent::CheckpointWrite {
+                retired: sim.stats().retired,
+                phase,
+            });
+        }
+        let _s = profiler().scope("phase/checkpoint");
         cell.store(&Value::Object(vec![
             ("phase".into(), Value::UInt(phase)),
             ("sim".into(), sim.save_state()),
         ]));
     };
     if phase == PHASE_WARMUP {
+        let _s = profiler().scope("phase/warmup");
         while sim.stats().retired < scale.warmup_uops {
             let chunk = interval.min(scale.warmup_uops - sim.stats().retired);
             sim.try_run(chunk)?;
@@ -442,11 +497,14 @@ pub fn run_pipeline_checkpointed(
         sim.try_warmup(0)?;
         checkpoint(&sim, PHASE_RUN);
     }
-    while sim.stats().retired < scale.run_uops {
-        let chunk = interval.min(scale.run_uops - sim.stats().retired);
-        sim.try_run(chunk)?;
-        if sim.stats().retired < scale.run_uops {
-            checkpoint(&sim, PHASE_RUN);
+    {
+        let _s = profiler().scope("phase/run");
+        while sim.stats().retired < scale.run_uops {
+            let chunk = interval.min(scale.run_uops - sim.stats().retired);
+            sim.try_run(chunk)?;
+            if sim.stats().retired < scale.run_uops {
+                checkpoint(&sim, PHASE_RUN);
+            }
         }
     }
     cell.clear();

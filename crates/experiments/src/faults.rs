@@ -38,6 +38,7 @@ use perconf_core::{
 };
 use perconf_faults::{FaultConfig, FaultyEstimator, FaultyPredictor};
 use perconf_metrics::Table;
+use perconf_obs::CounterSnapshot;
 use perconf_pipeline::PipelineConfig;
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +107,11 @@ pub struct FaultCell {
     pub faults_predictor: u64,
     /// Faults injected into the estimator (trace + pipeline runs).
     pub faults_estimator: u64,
+    /// Hierarchical counter snapshot of the cell's pipeline run
+    /// (fetch/rob/cache/predictor/estimator/gating groups). Derived
+    /// from snapshotted simulator state, so a killed-and-resumed cell
+    /// reports the same snapshot as an uninterrupted one.
+    pub counters: CounterSnapshot,
 }
 
 /// One rendered row: a (estimator, rate) point aggregated over the
@@ -137,6 +143,10 @@ pub struct FaultTable {
     pub cells: Vec<FaultCell>,
     /// Keys of cells that failed (panicked / hung / invariant).
     pub failed: Vec<String>,
+    /// Deterministic merge of every completed cell's counters:
+    /// monotonic counters sum, gauges keep their maximum — the
+    /// sweep-wide activity totals, identical at any `--jobs` count.
+    pub counters: CounterSnapshot,
 }
 
 /// Deterministic per-cell seed: mixes the campaign seed with the cell
@@ -225,7 +235,7 @@ pub fn run_cell(
                 as Box<dyn SimEstimator>,
         )
     };
-    let stats = match run_pipeline_checkpointed(
+    let (stats, counters) = match run_pipeline_checkpointed(
         &wl,
         PipelineConfig::deep().gated(1),
         mk_ctl,
@@ -233,7 +243,7 @@ pub fn run_cell(
         cell,
         50_000,
     ) {
-        Ok(sim) => sim.stats().clone(),
+        Ok(sim) => (sim.stats().clone(), sim.counters()),
         // A SimError is an invariant failure; surface it as the panic
         // the runner's catch_unwind already turns into a typed error.
         Err(e) => panic!("{e}"),
@@ -249,6 +259,7 @@ pub fn run_cell(
         ipc: stats.ipc(),
         faults_predictor,
         faults_estimator,
+        counters,
     }
 }
 
@@ -300,12 +311,14 @@ pub fn run_grid(
         }
     }
     let rows = aggregate(grid, &cells);
+    let counters = CounterSnapshot::merge(cells.iter().map(|c| &c.counters));
     (
         FaultTable {
             seed,
             rows,
             cells,
             failed,
+            counters,
         },
         timings,
     )
@@ -406,8 +419,8 @@ impl FaultTable {
     pub fn degrades_monotonically(&self) -> bool {
         const QUALITY_SLACK: f64 = 1.02; // 2% relative noise allowance
         const IPC_TOL: f64 = 0.5; // percentage points of IPC loss
-        // Estimators present in the rows, in first-appearance order
-        // (the sweep grid may be a subset of ESTIMATORS).
+                                  // Estimators present in the rows, in first-appearance order
+                                  // (the sweep grid may be a subset of ESTIMATORS).
         let mut estimators: Vec<&str> = Vec::new();
         for r in &self.rows {
             if !estimators.contains(&r.estimator.as_str()) {
@@ -528,6 +541,7 @@ mod tests {
             ],
             cells: Vec::new(),
             failed: Vec::new(),
+            counters: CounterSnapshot::default(),
         };
         // The real shape: perceptron degrades everywhere, JRS loses
         // coverage (quality falls) while its machine speeds up.
@@ -553,6 +567,7 @@ mod tests {
             ipc,
             faults_predictor: 0,
             faults_estimator: 0,
+            counters: CounterSnapshot::default(),
         };
         let cells = vec![
             mk("jrs", "gcc", 0.0, 2.0),

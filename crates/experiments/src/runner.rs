@@ -324,7 +324,12 @@ pub struct CellTiming {
 /// attempts with exponential backoff, checkpoint/marker persistence.
 /// Both [`Runner::run_cell_resumable`] and [`Scheduler::run_cells`]
 /// funnel through here, so the two frontends cannot drift.
-fn execute_cell<T>(cfg: &RunnerConfig, zombies: &Zombies, key: &str, work: WorkFn<T>) -> CellReport<T>
+fn execute_cell<T>(
+    cfg: &RunnerConfig,
+    zombies: &Zombies,
+    key: &str,
+    work: WorkFn<T>,
+) -> CellReport<T>
 where
     T: Serialize + DeserializeOwned + Send + 'static,
 {
@@ -370,6 +375,15 @@ where
     };
     for attempt in 0..=cfg.retries {
         if attempt > 0 {
+            let t = crate::common::tracer();
+            if t.enabled() {
+                // Keys are free-form strings; the event carries their
+                // FNV digest so records stay fixed-width.
+                t.record(perconf_obs::TraceEvent::Retry {
+                    key: perconf_bpred::digest_bytes(key.as_bytes()),
+                    attempt: u64::from(attempt),
+                });
+            }
             thread::sleep(cfg.backoff * (1 << (attempt - 1)));
         }
         attempts += 1;
@@ -1153,7 +1167,11 @@ mod tests {
             .collect();
         let report = s.run_cells(cells);
         let failed: Vec<&str> = report.failures().iter().map(|(k, _)| *k).collect();
-        assert_eq!(failed, ["c0", "c3", "c6"], "canonical order, only the poisoned cells");
+        assert_eq!(
+            failed,
+            ["c0", "c3", "c6"],
+            "canonical order, only the poisoned cells"
+        );
         // Each failing cell burned 1 retry; the healthy ones none.
         assert_eq!(report.retries(), 3);
         assert_eq!(report.executed(), 5 + 3 * 2);
@@ -1272,7 +1290,11 @@ mod tests {
 
         let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
         let second = mk().run_cells(cells(&calls));
-        assert_eq!(calls.load(Ordering::SeqCst), 0, "all cells come from checkpoints");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "all cells come from checkpoints"
+        );
         assert_eq!(second.resumed(), 6);
         assert_eq!(second.executed(), 0);
         for (i, c) in second.cells.iter().enumerate() {

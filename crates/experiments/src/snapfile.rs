@@ -102,16 +102,12 @@ impl From<io::Error> for SnapfileError {
     }
 }
 
-/// FNV-1a 64 over a byte slice — the same hash family
-/// [`perconf_bpred::StateDigest`] uses for state digests, applied here
-/// to the serialized payload.
+/// FNV-1a 64 over a byte slice — [`perconf_bpred::digest_bytes`], the
+/// same hash every state digest uses, applied here to the serialized
+/// payload.
 #[must_use]
 pub fn payload_digest(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    perconf_bpred::digest_bytes(bytes)
 }
 
 /// Writes `state` to `path` atomically: serialize, digest, write to a

@@ -80,7 +80,10 @@ fn sweep_is_byte_identical_across_job_counts_and_resume() {
         .iter()
         .map(|s| s.key().to_owned())
         .collect();
-    assert_eq!(keys, expected.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(
+        keys,
+        expected.iter().map(String::as_str).collect::<Vec<_>>()
+    );
 
     // Kill-and-resume: run only a prefix of the sweep's cells into a
     // checkpoint directory (the moral equivalent of a sweep killed

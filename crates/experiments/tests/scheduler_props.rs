@@ -5,10 +5,10 @@
 //! with a terminal status — and no coordinator worker leaks past
 //! `run_cells`.
 
-use perconf_experiments::runner::{
-    CellSpec, RunError, Scheduler, SchedulerConfig, RunnerConfig,
-};
+use perconf_experiments::runner::{CellSpec, RunError, RunnerConfig, Scheduler, SchedulerConfig};
+use perconf_experiments::{common, faults, Scale};
 use perconf_faults::{FaultConfig, FaultPlan};
+use perconf_obs::{TraceLevel, Tracer};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -156,14 +156,19 @@ fn every_cell_reports_exactly_once_with_terminal_status() {
 
         // Attempt accounting: non-timeout cells account exactly;
         // timeout cells add at most 2 in-flight bumps each.
-        let timeouts =
-            plan.iter().filter(|b| matches!(b, Behavior::Timeout)).count() as u32;
+        let timeouts = plan
+            .iter()
+            .filter(|b| matches!(b, Behavior::Timeout))
+            .count() as u32;
         let seen = attempts.load(Ordering::SeqCst);
         assert!(
             seen >= expected_attempts && seen <= expected_attempts + timeouts * 2,
             "seed {seed}: {seen} attempts vs expected {expected_attempts} (+{timeouts} timeouts)"
         );
-        assert_eq!(report.executed(), u64::from(expected_attempts + timeouts * 2));
+        assert_eq!(
+            report.executed(),
+            u64::from(expected_attempts + timeouts * 2)
+        );
 
         // No coordinator leaks: run_cells blocked until its workers
         // joined, so only watchdog-abandoned attempt threads remain,
@@ -173,6 +178,124 @@ fn every_cell_reports_exactly_once_with_terminal_status() {
             scheduler.zombie_count() <= (timeouts * 2) as usize,
             "seed {seed}"
         );
+    }
+}
+
+/// Reduced fault-sweep grid shared by the counter-determinism cases:
+/// one estimator, two benchmarks, two rates — four cells.
+fn counter_grid() -> faults::Grid {
+    faults::Grid {
+        estimators: vec!["jrs".to_owned()],
+        benchmarks: vec!["gcc".to_owned(), "twolf".to_owned()],
+        rates: vec![0.0, 1e-2],
+    }
+}
+
+fn sweep_scheduler(jobs: usize, dir: Option<&std::path::Path>) -> Scheduler {
+    let runner = match dir {
+        Some(d) => RunnerConfig {
+            timeout: None,
+            retries: 0,
+            ..RunnerConfig::resuming(d)
+        },
+        None => RunnerConfig {
+            checkpoint_dir: None,
+            resume: false,
+            timeout: None,
+            retries: 0,
+            ..RunnerConfig::default()
+        },
+    };
+    Scheduler::new(SchedulerConfig { runner, jobs })
+}
+
+#[test]
+fn per_cell_counters_merge_deterministically_across_jobs_and_resume() {
+    const SEED: u64 = 23;
+    let g = counter_grid();
+
+    let (seq, _) = faults::run_grid(Scale::tiny(), SEED, &g, &mut sweep_scheduler(1, None));
+    assert!(seq.failed.is_empty());
+    // The merged snapshot is non-trivial and carries real sim work.
+    assert!(seq.counters.get("rob", "retired").unwrap_or(0) > 0);
+    assert!(seq.counters.get("fetch", "cycles").unwrap_or(0) > 0);
+
+    // Four workers: per-cell snapshots and the merged snapshot must be
+    // identical to the sequential run — merge order is submission
+    // order, never completion order.
+    let (par, _) = faults::run_grid(Scale::tiny(), SEED, &g, &mut sweep_scheduler(4, None));
+    for (a, b) in seq.cells.iter().zip(&par.cells) {
+        assert_eq!(
+            a.counters, b.counters,
+            "cell {}/{}/{}",
+            a.estimator, a.benchmark, a.rate
+        );
+    }
+    assert_eq!(
+        seq.counters, par.counters,
+        "--jobs 4 merged snapshot diverged"
+    );
+
+    // Killed-and-resumed: run a two-cell prefix into a checkpoint
+    // directory (a sweep killed mid-flight), then resume the full
+    // sweep. Counters are derived from snapshotted state, so the
+    // resumed cells must report the same numbers as uninterrupted
+    // ones.
+    let dir = std::env::temp_dir().join(format!("perconf-props-counters-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let prefix: Vec<_> = faults::cell_specs(Scale::tiny(), SEED, &g)
+        .into_iter()
+        .take(2)
+        .collect();
+    let partial = sweep_scheduler(4, Some(&dir)).run_cells(prefix);
+    assert!(partial.failures().is_empty());
+
+    let (resumed, _) =
+        faults::run_grid(Scale::tiny(), SEED, &g, &mut sweep_scheduler(4, Some(&dir)));
+    assert_eq!(
+        seq.counters, resumed.counters,
+        "killed+resumed sweep reported different merged counters"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tracing_and_profiling_do_not_change_sweep_results() {
+    const SEED: u64 = 29;
+    let g = counter_grid();
+    let bytes = |t: &faults::FaultTable| serde_json::to_string_pretty(t).expect("serialize");
+
+    // Plain run with the whole observability stack quiet.
+    let (off, _) = faults::run_grid(Scale::tiny(), SEED, &g, &mut sweep_scheduler(2, None));
+
+    // Same sweep with event tracing and profiling live. Both are
+    // derived outputs: the diffable result must stay byte-identical.
+    common::tracer().set_level(TraceLevel::Verbose);
+    common::profiler().enable(true);
+    let (on, _) = faults::run_grid(Scale::tiny(), SEED, &g, &mut sweep_scheduler(2, None));
+    common::profiler().enable(false);
+    common::tracer().set_level(TraceLevel::Off);
+    let (events, _dropped) = common::tracer().drain();
+
+    assert_eq!(
+        bytes(&off),
+        bytes(&on),
+        "observability changed the sweep's diffable output"
+    );
+    // The instrumented run did profile real work…
+    let profile = common::profiler().report();
+    assert!(
+        profile
+            .rows
+            .iter()
+            .any(|r| r.name == "phase/run" && r.calls > 0),
+        "profiler captured no phase/run spans: {profile:?}"
+    );
+    // …and, when the tracer is compiled in, captured real events.
+    if Tracer::COMPILED {
+        assert!(!events.is_empty(), "trace-enabled build recorded nothing");
+    } else {
+        assert!(events.is_empty(), "compiled-out tracer produced events");
     }
 }
 

@@ -1,0 +1,293 @@
+//! Hierarchical named counters.
+//!
+//! A [`Counters`] registry is a mutable builder: subsystems register
+//! monotonic counters and level gauges under a `(group, name)` key.
+//! Freezing it yields a [`CounterSnapshot`] — an immutable, sorted
+//! list of entries that can be diffed against an earlier snapshot or
+//! merged with snapshots from other workers.
+//!
+//! Determinism: entries are kept sorted by `(group, name)`, and every
+//! combinator ([`CounterSnapshot::diff`], [`CounterSnapshot::merge`])
+//! is a pure function of its inputs, so two workers producing the same
+//! per-cell snapshots merge to the same bytes regardless of job count
+//! or completion order.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How a counter combines across time and across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// Monotonically increasing count. `diff` subtracts, `merge` sums.
+    Counter,
+    /// Instantaneous level. `diff` keeps the later value, `merge`
+    /// keeps the maximum.
+    Gauge,
+}
+
+/// One named value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Subsystem group (`fetch`, `rob`, `cache`, …).
+    pub group: String,
+    /// Counter name within the group.
+    pub name: String,
+    /// Combination semantics.
+    pub kind: CounterKind,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Mutable registry of counters, grouped by subsystem.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    map: BTreeMap<(String, String), (CounterKind, u64)>,
+}
+
+impl Counters {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or accumulates into) a monotonic counter.
+    pub fn counter(&mut self, group: &str, name: &str, value: u64) -> &mut Self {
+        let e = self
+            .map
+            .entry((group.to_owned(), name.to_owned()))
+            .or_insert((CounterKind::Counter, 0));
+        e.1 += value;
+        self
+    }
+
+    /// Registers (or overwrites) a level gauge.
+    pub fn gauge(&mut self, group: &str, name: &str, value: u64) -> &mut Self {
+        self.map.insert(
+            (group.to_owned(), name.to_owned()),
+            (CounterKind::Gauge, value),
+        );
+        self
+    }
+
+    /// Freezes the registry into an immutable, sorted snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            entries: self
+                .map
+                .iter()
+                .map(|((group, name), (kind, value))| CounterEntry {
+                    group: group.clone(),
+                    name: name.clone(),
+                    kind: *kind,
+                    value: *value,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An immutable point-in-time view of a [`Counters`] registry, sorted
+/// by `(group, name)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Entries, sorted by `(group, name)`.
+    entries: Vec<CounterEntry>,
+}
+
+impl CounterSnapshot {
+    /// All entries in sorted order.
+    #[must_use]
+    pub fn entries(&self) -> &[CounterEntry] {
+        &self.entries
+    }
+
+    /// Looks up one value.
+    #[must_use]
+    pub fn get(&self, group: &str, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.group == group && e.name == name)
+            .map(|e| e.value)
+    }
+
+    /// The change from `earlier` to `self`: counters subtract
+    /// (saturating, so a reset between snapshots reads as zero rather
+    /// than wrapping), gauges keep the later value. Entries absent
+    /// from `earlier` pass through unchanged.
+    #[must_use]
+    pub fn diff(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let value = match e.kind {
+                    CounterKind::Counter => {
+                        let before = earlier.get(&e.group, &e.name).unwrap_or(0);
+                        e.value.saturating_sub(before)
+                    }
+                    CounterKind::Gauge => e.value,
+                };
+                CounterEntry { value, ..e.clone() }
+            })
+            .collect();
+        CounterSnapshot { entries }
+    }
+
+    /// Merges snapshots from several workers into one: counters sum,
+    /// gauges keep the maximum. The result depends only on the
+    /// multiset of inputs, never on iteration order, so a sweep merged
+    /// at any job count produces identical bytes. A key that appears
+    /// with conflicting kinds keeps the kind of its first occurrence.
+    #[must_use]
+    pub fn merge<'a, I>(snaps: I) -> CounterSnapshot
+    where
+        I: IntoIterator<Item = &'a CounterSnapshot>,
+    {
+        let mut map: BTreeMap<(String, String), (CounterKind, u64)> = BTreeMap::new();
+        for snap in snaps {
+            for e in &snap.entries {
+                let slot = map
+                    .entry((e.group.clone(), e.name.clone()))
+                    .or_insert((e.kind, 0));
+                slot.1 = match slot.0 {
+                    CounterKind::Counter => slot.1 + e.value,
+                    CounterKind::Gauge => slot.1.max(e.value),
+                };
+            }
+        }
+        CounterSnapshot {
+            entries: map
+                .into_iter()
+                .map(|((group, name), (kind, value))| CounterEntry {
+                    group,
+                    name,
+                    kind,
+                    value,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders a grouped, aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        let mut group = "";
+        for e in &self.entries {
+            if e.group != group {
+                group = &e.group;
+                let _ = writeln!(out, "[{group}]");
+            }
+            let tag = match e.kind {
+                CounterKind::Counter => "",
+                CounterKind::Gauge => " (gauge)",
+            };
+            let _ = writeln!(out, "  {:<width$}  {:>14}{tag}", e.name, e.value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counters {
+        let mut c = Counters::new();
+        c.counter("fetch", "uops", 100)
+            .counter("cache", "l1_hits", 40)
+            .gauge("rob", "occupancy", 12);
+        c
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_lookup_works() {
+        let s = sample().snapshot();
+        let keys: Vec<(&str, &str)> = s
+            .entries()
+            .iter()
+            .map(|e| (e.group.as_str(), e.name.as_str()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(s.get("fetch", "uops"), Some(100));
+        assert_eq!(s.get("fetch", "nonexistent"), None);
+    }
+
+    #[test]
+    fn counter_accumulates_gauge_overwrites() {
+        let mut c = sample();
+        c.counter("fetch", "uops", 5).gauge("rob", "occupancy", 3);
+        let s = c.snapshot();
+        assert_eq!(s.get("fetch", "uops"), Some(105));
+        assert_eq!(s.get("rob", "occupancy"), Some(3));
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_later_gauges() {
+        let before = sample().snapshot();
+        let mut later = sample();
+        later
+            .counter("fetch", "uops", 50)
+            .gauge("rob", "occupancy", 7);
+        let d = later.snapshot().diff(&before);
+        assert_eq!(d.get("fetch", "uops"), Some(50));
+        assert_eq!(d.get("cache", "l1_hits"), Some(0));
+        assert_eq!(d.get("rob", "occupancy"), Some(7));
+    }
+
+    #[test]
+    fn diff_saturates_across_a_reset() {
+        let big = sample().snapshot();
+        let mut small = Counters::new();
+        small.counter("fetch", "uops", 10);
+        let d = small.snapshot().diff(&big);
+        assert_eq!(d.get("fetch", "uops"), Some(0));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = sample().snapshot();
+        let mut c2 = sample();
+        c2.counter("fetch", "uops", 11)
+            .gauge("rob", "occupancy", 99);
+        let b = c2.snapshot();
+        let m1 = CounterSnapshot::merge([&a, &b]);
+        let m2 = CounterSnapshot::merge([&b, &a]);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.get("fetch", "uops"), Some(100 + 111));
+        assert_eq!(m1.get("rob", "occupancy"), Some(99));
+    }
+
+    #[test]
+    fn merge_of_disjoint_groups_unions() {
+        let a = sample().snapshot();
+        let mut c = Counters::new();
+        c.counter("gating", "gated_cycles", 8);
+        let m = CounterSnapshot::merge([&a, &c.snapshot()]);
+        assert_eq!(m.get("gating", "gated_cycles"), Some(8));
+        assert_eq!(m.get("cache", "l1_hits"), Some(40));
+    }
+
+    #[test]
+    fn render_groups_entries() {
+        let r = sample().snapshot().render();
+        assert!(r.contains("[cache]"));
+        assert!(r.contains("[fetch]"));
+        assert!(r.contains("occupancy"));
+        assert!(r.contains("(gauge)"));
+    }
+
+    #[test]
+    fn snapshot_survives_json_round_trip() {
+        let s = sample().snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CounterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,280 @@
+//! Trace event schema and its fixed-width binary encoding.
+//!
+//! Every event encodes to exactly [`RECORD_BYTES`] bytes — a one-byte
+//! kind tag followed by three little-endian `u64` operands — so a
+//! `.pobs` payload is a flat array of records, seekable by index and
+//! cheap to append from the hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime gate for the tracer. Levels are ordered: a tracer at
+/// [`Standard`](TraceLevel::Standard) records everything except the
+/// per-fetch-branch firehose, which needs
+/// [`Verbose`](TraceLevel::Verbose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Record nothing.
+    Off,
+    /// Per-resolution and per-phase events.
+    Standard,
+    /// Everything, including per-fetch confidence buckets.
+    Verbose,
+}
+
+/// One structured simulator event.
+///
+/// Cycle numbers are the simulator's own clock; `pc` is the branch
+/// instruction address. Events are diagnostics only — the simulator
+/// never reads them back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A correct-path conditional branch resolved in the backend.
+    BranchResolved {
+        /// Resolution cycle.
+        cycle: u64,
+        /// Branch address.
+        pc: u64,
+        /// Whether resolution discovered a misprediction (and
+        /// triggered a squash).
+        mispredicted: bool,
+    },
+    /// The confidence estimate assigned to a branch at fetch.
+    ConfidenceBucket {
+        /// Fetch cycle.
+        cycle: u64,
+        /// Branch address.
+        pc: u64,
+        /// Raw estimator output (larger = less confident).
+        raw: i64,
+        /// Confidence class index: 0 = high, 1 = weak low, 2 = strong
+        /// low (matches `perconf_core::ConfidenceClass::index`).
+        class: u64,
+    },
+    /// Fetch gating engaged after running ungated.
+    GateStallBegin {
+        /// First gated cycle of the stall.
+        cycle: u64,
+    },
+    /// Fetch gating released.
+    GateStallEnd {
+        /// First ungated cycle after the stall.
+        cycle: u64,
+        /// Consecutive cycles fetch was gated.
+        stalled: u64,
+    },
+    /// A mid-run checkpoint was written by the experiment driver.
+    CheckpointWrite {
+        /// Retired-uop count at the checkpoint.
+        retired: u64,
+        /// Driver phase (0 = warmup, 1 = measured run).
+        phase: u64,
+    },
+    /// The sweep runner retried a failed cell.
+    Retry {
+        /// FNV-1a 64 hash of the cell key.
+        key: u64,
+        /// 1-based retry attempt number.
+        attempt: u64,
+    },
+}
+
+/// Encoded size of one event record.
+pub const RECORD_BYTES: usize = 25;
+
+/// Decoding failure for one record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRecord {
+    /// The unknown kind tag encountered.
+    pub kind: u8,
+}
+
+impl std::fmt::Display for BadRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown trace record kind {:#04x}", self.kind)
+    }
+}
+
+impl std::error::Error for BadRecord {}
+
+impl TraceEvent {
+    /// The minimum [`TraceLevel`] at which this event is recorded.
+    #[must_use]
+    pub fn level(&self) -> TraceLevel {
+        match self {
+            TraceEvent::ConfidenceBucket { .. } => TraceLevel::Verbose,
+            _ => TraceLevel::Standard,
+        }
+    }
+
+    /// Short stable name of the event kind (JSONL `kind` field and
+    /// `repro obs` summaries).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::BranchResolved { .. } => "branch_resolved",
+            TraceEvent::ConfidenceBucket { .. } => "confidence_bucket",
+            TraceEvent::GateStallBegin { .. } => "gate_stall_begin",
+            TraceEvent::GateStallEnd { .. } => "gate_stall_end",
+            TraceEvent::CheckpointWrite { .. } => "checkpoint_write",
+            TraceEvent::Retry { .. } => "retry",
+        }
+    }
+
+    /// Encodes to the fixed-width record format.
+    #[must_use]
+    #[allow(clippy::cast_sign_loss)]
+    pub fn encode(&self) -> [u8; RECORD_BYTES] {
+        let (kind, a, b, c): (u8, u64, u64, u64) = match *self {
+            TraceEvent::BranchResolved {
+                cycle,
+                pc,
+                mispredicted,
+            } => (0, cycle, pc, u64::from(mispredicted)),
+            TraceEvent::ConfidenceBucket {
+                cycle,
+                pc,
+                raw,
+                class,
+            } => {
+                // Pack the signed raw value and the class index into
+                // one operand: bits 0–1 the class, the rest `raw << 2`.
+                (1, cycle, pc, ((raw << 2) as u64) | (class & 0b11))
+            }
+            TraceEvent::GateStallBegin { cycle } => (2, cycle, 0, 0),
+            TraceEvent::GateStallEnd { cycle, stalled } => (3, cycle, stalled, 0),
+            TraceEvent::CheckpointWrite { retired, phase } => (4, retired, phase, 0),
+            TraceEvent::Retry { key, attempt } => (5, key, attempt, 0),
+        };
+        let mut out = [0u8; RECORD_BYTES];
+        out[0] = kind;
+        out[1..9].copy_from_slice(&a.to_le_bytes());
+        out[9..17].copy_from_slice(&b.to_le_bytes());
+        out[17..25].copy_from_slice(&c.to_le_bytes());
+        out
+    }
+
+    /// Decodes one fixed-width record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadRecord`] when the kind tag is unknown (a newer
+    /// writer or corruption that slipped past the container digest).
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn decode(rec: &[u8; RECORD_BYTES]) -> Result<TraceEvent, BadRecord> {
+        let a = u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes"));
+        let b = u64::from_le_bytes(rec[9..17].try_into().expect("8 bytes"));
+        let c = u64::from_le_bytes(rec[17..25].try_into().expect("8 bytes"));
+        Ok(match rec[0] {
+            0 => TraceEvent::BranchResolved {
+                cycle: a,
+                pc: b,
+                mispredicted: c != 0,
+            },
+            1 => TraceEvent::ConfidenceBucket {
+                cycle: a,
+                pc: b,
+                raw: (c as i64) >> 2,
+                class: c & 0b11,
+            },
+            2 => TraceEvent::GateStallBegin { cycle: a },
+            3 => TraceEvent::GateStallEnd {
+                cycle: a,
+                stalled: b,
+            },
+            4 => TraceEvent::CheckpointWrite {
+                retired: a,
+                phase: b,
+            },
+            5 => TraceEvent::Retry { key: a, attempt: b },
+            kind => return Err(BadRecord { kind }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::BranchResolved {
+                cycle: 7,
+                pc: 0x40_1000,
+                mispredicted: true,
+            },
+            TraceEvent::ConfidenceBucket {
+                cycle: 8,
+                pc: 0x40_1004,
+                raw: -137,
+                class: 2,
+            },
+            TraceEvent::ConfidenceBucket {
+                cycle: 9,
+                pc: 0x40_1008,
+                raw: 22,
+                class: 0,
+            },
+            TraceEvent::GateStallBegin { cycle: 10 },
+            TraceEvent::GateStallEnd {
+                cycle: 15,
+                stalled: 5,
+            },
+            TraceEvent::CheckpointWrite {
+                retired: 50_000,
+                phase: 1,
+            },
+            TraceEvent::Retry {
+                key: 0xdead_beef,
+                attempt: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_kind() {
+        for ev in corpus() {
+            let rec = ev.encode();
+            assert_eq!(TraceEvent::decode(&rec).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn negative_raw_survives_packing() {
+        let ev = TraceEvent::ConfidenceBucket {
+            cycle: 1,
+            pc: 2,
+            raw: i64::from(i32::MIN),
+            class: 1,
+        };
+        assert_eq!(TraceEvent::decode(&ev.encode()).unwrap(), ev);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut rec = corpus()[0].encode();
+        rec[0] = 0xFF;
+        assert_eq!(
+            TraceEvent::decode(&rec).unwrap_err(),
+            BadRecord { kind: 0xFF }
+        );
+    }
+
+    #[test]
+    fn levels_are_ordered_and_bucket_is_verbose() {
+        assert!(TraceLevel::Off < TraceLevel::Standard);
+        assert!(TraceLevel::Standard < TraceLevel::Verbose);
+        for ev in corpus() {
+            let expected = matches!(ev, TraceEvent::ConfidenceBucket { .. });
+            assert_eq!(ev.level() == TraceLevel::Verbose, expected);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<&str> = corpus().iter().map(TraceEvent::kind_name).collect();
+        names.dedup();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,376 @@
+//! The `.pobs` on-disk trace container.
+//!
+//! Follows the `snapfile` conventions from the experiments crate —
+//! magic + version + FNV-1a-64 payload digest + length header, atomic
+//! temp-file-and-rename writes — applied to a flat array of
+//! fixed-width binary event records instead of a JSON tree:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"POBS0001"
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      8     FNV-1a 64 digest of the payload bytes, u64 LE
+//! 20      8     payload length in bytes, u64 LE
+//! 28      8     event count, u64 LE
+//! 36      8     events dropped by ring overwrites, u64 LE
+//! 44      n     payload: count × 25-byte records (see `event`)
+//! ```
+//!
+//! A half-written or bit-rotted trace is *detected* ([`PobsError`]),
+//! never silently decoded into nonsense.
+
+use crate::event::{TraceEvent, RECORD_BYTES};
+use std::fmt;
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+/// Leading magic of every trace file.
+pub const MAGIC: [u8; 8] = *b"POBS0001";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const HEADER_BYTES: usize = 44;
+
+/// Why a trace file could not be read or written.
+#[derive(Debug)]
+pub enum PobsError {
+    /// The underlying read or write failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The header names an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file ends before the header-declared payload length, or the
+    /// payload length disagrees with the event count.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The payload digest does not match the header.
+    DigestMismatch {
+        /// Digest recorded in the header.
+        stored: u64,
+        /// Digest of the payload as read.
+        computed: u64,
+    },
+    /// A record carries an unknown kind tag.
+    Malformed(String),
+}
+
+impl fmt::Display for PobsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PobsError::Io(e) => write!(f, "i/o error: {e}"),
+            PobsError::BadMagic { found } => {
+                write!(f, "not a trace file (magic {found:02x?})")
+            }
+            PobsError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported trace version {found} (reader knows {VERSION})"
+                )
+            }
+            PobsError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated trace: header promises {expected} payload bytes, file has {got}"
+                )
+            }
+            PobsError::DigestMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "trace payload digest mismatch: header {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            PobsError::Malformed(m) => write!(f, "malformed trace payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PobsError {}
+
+impl From<io::Error> for PobsError {
+    fn from(e: io::Error) -> Self {
+        PobsError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over the payload bytes (same family as the simulator's
+/// state digests and the snapfile container).
+#[must_use]
+pub fn payload_digest(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A decoded trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrites before the flush.
+    pub dropped: u64,
+}
+
+impl TraceFile {
+    /// Renders the events as JSON lines, one event object per line,
+    /// each tagged with its `kind` name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PobsError::Malformed`] if an event fails to
+    /// serialize (not expected for any [`TraceEvent`]).
+    pub fn to_jsonl(&self) -> Result<String, PobsError> {
+        let mut out = String::new();
+        for ev in &self.events {
+            let body =
+                serde_json::to_string(ev).map_err(|e| PobsError::Malformed(e.to_string()))?;
+            // The derive encodes an enum as {"Variant": {fields}}; wrap
+            // it with a flat `kind` tag so JSONL consumers can filter
+            // without knowing the Rust variant names.
+            out.push_str(&format!(
+                "{{\"kind\":\"{}\",\"event\":{body}}}\n",
+                ev.kind_name()
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Counts events per kind, sorted by kind name.
+    #[must_use]
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for ev in &self.events {
+            *counts.entry(ev.kind_name()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Writes `events` to `path` atomically: encode, digest, write to a
+/// sibling temp file, fsync, rename over the destination.
+///
+/// # Errors
+///
+/// Returns [`PobsError::Io`] on any filesystem failure.
+pub fn write(path: &Path, events: &[TraceEvent], dropped: u64) -> Result<(), PobsError> {
+    let mut payload = Vec::with_capacity(events.len() * RECORD_BYTES);
+    for ev in events {
+        payload.extend_from_slice(&ev.encode());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension("pobs.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&MAGIC)?;
+        f.write_all(&VERSION.to_le_bytes())?;
+        f.write_all(&payload_digest(&payload).to_le_bytes())?;
+        f.write_all(&(payload.len() as u64).to_le_bytes())?;
+        f.write_all(&(events.len() as u64).to_le_bytes())?;
+        f.write_all(&dropped.to_le_bytes())?;
+        f.write_all(&payload)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a trace back, verifying magic, version, length, digest and
+/// record encoding.
+///
+/// # Errors
+///
+/// Any [`PobsError`] variant; all of them mean the trace file is
+/// unusable.
+pub fn read(path: &Path) -> Result<TraceFile, PobsError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut header = [0u8; HEADER_BYTES];
+    f.read_exact(&mut header).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            PobsError::Truncated {
+                expected: HEADER_BYTES as u64,
+                got: std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+            }
+        } else {
+            PobsError::Io(e)
+        }
+    })?;
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&header[..8]);
+    if magic != MAGIC {
+        return Err(PobsError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(PobsError::UnsupportedVersion { found: version });
+    }
+    let stored = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
+    let dropped = u64::from_le_bytes(header[36..44].try_into().expect("8 bytes"));
+    if len != count * RECORD_BYTES as u64 {
+        return Err(PobsError::Malformed(format!(
+            "payload length {len} disagrees with event count {count}"
+        )));
+    }
+    let mut payload = Vec::new();
+    f.read_to_end(&mut payload)?;
+    if (payload.len() as u64) != len {
+        return Err(PobsError::Truncated {
+            expected: len,
+            got: payload.len() as u64,
+        });
+    }
+    let computed = payload_digest(&payload);
+    if computed != stored {
+        return Err(PobsError::DigestMismatch { stored, computed });
+    }
+    let mut events = Vec::with_capacity(count as usize);
+    for chunk in payload.chunks_exact(RECORD_BYTES) {
+        let rec: &[u8; RECORD_BYTES] = chunk.try_into().expect("exact chunk");
+        events.push(TraceEvent::decode(rec).map_err(|e| PobsError::Malformed(e.to_string()))?);
+    }
+    Ok(TraceFile { events, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("perconf-pobs-{name}-{}.pobs", std::process::id()))
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::BranchResolved {
+                cycle: 10,
+                pc: 0x1000,
+                mispredicted: false,
+            },
+            TraceEvent::ConfidenceBucket {
+                cycle: 11,
+                pc: 0x1004,
+                raw: -42,
+                class: 1,
+            },
+            TraceEvent::GateStallBegin { cycle: 12 },
+            TraceEvent::GateStallEnd {
+                cycle: 20,
+                stalled: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_events_and_dropped_count() {
+        let p = tmp("roundtrip");
+        write(&p, &sample(), 3).unwrap();
+        let back = read(&p).unwrap();
+        assert_eq!(back.events, sample());
+        assert_eq!(back.dropped, 3);
+        assert!(!p.with_extension("pobs.tmp").exists());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let p = tmp("empty");
+        write(&p, &[], 0).unwrap();
+        let back = read(&p).unwrap();
+        assert!(back.events.is_empty());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let p = tmp("magic");
+        write(&p, &sample(), 0).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(read(&p), Err(PobsError::BadMagic { .. })));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let p = tmp("version");
+        write(&p, &sample(), 0).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[8] = 0xEE;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            read(&p),
+            Err(PobsError::UnsupportedVersion { .. })
+        ));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn detects_payload_bit_rot() {
+        let p = tmp("bitrot");
+        write(&p, &sample(), 0).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(read(&p), Err(PobsError::DigestMismatch { .. })));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let p = tmp("truncated");
+        write(&p, &sample(), 0).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(read(&p), Err(PobsError::Truncated { .. })));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn jsonl_export_tags_kinds() {
+        let tf = TraceFile {
+            events: sample(),
+            dropped: 0,
+        };
+        let jsonl = tf.to_jsonl().unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"kind\":\"branch_resolved\""));
+        assert!(lines[1].contains("\"raw\":-42"));
+    }
+
+    #[test]
+    fn counts_by_kind_sums_to_event_total() {
+        let tf = TraceFile {
+            events: sample(),
+            dropped: 0,
+        };
+        let counts = tf.counts_by_kind();
+        let total: u64 = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+        assert!(counts
+            .iter()
+            .any(|&(k, n)| k == "gate_stall_begin" && n == 1));
+    }
+}

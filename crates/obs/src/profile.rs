@@ -1,0 +1,323 @@
+//! RAII phase profiling.
+//!
+//! A [`Profiler`] hands out [`Scope`] guards around pipeline stages
+//! and experiment phases. Each scope records wall time into a shared
+//! table keyed by span name; nested scopes on the same thread
+//! attribute their time to the parent's *child* time, so the report
+//! can show both total (inclusive) and self (exclusive) time per span.
+//!
+//! Cost model: when disabled (the default), [`Profiler::scope`] is one
+//! relaxed atomic load and returns an inert guard — no clock read, no
+//! allocation, no lock. When enabled, each scope costs two `Instant`
+//! reads and one mutex-protected table update at drop; that is a
+//! diagnostic mode, not a hot-path default.
+//!
+//! Handles are cloneable and shareable across worker threads; the
+//! nesting stack is thread-local, so spans on different workers nest
+//! independently while aggregating into one table.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Acc {
+    calls: u64,
+    total: Duration,
+    child: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    enabled: AtomicBool,
+    rows: Mutex<BTreeMap<&'static str, Acc>>,
+}
+
+thread_local! {
+    /// Per-thread stack of open spans: each frame accumulates the
+    /// wall time of its direct children.
+    static STACK: RefCell<Vec<Duration>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Shared profiling registry. Clones share one table and one enable
+/// flag.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Arc<Inner>,
+}
+
+impl Profiler {
+    /// Creates a disabled profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns span collection on or off for every clone of this handle.
+    pub fn enable(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently collected.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opens a span named `name`. The span closes (and records) when
+    /// the returned guard drops. Disabled profilers return an inert
+    /// guard after a single atomic load.
+    #[inline]
+    pub fn scope(&self, name: &'static str) -> Scope {
+        if !self.enabled() {
+            return Scope { active: None };
+        }
+        STACK.with(|s| s.borrow_mut().push(Duration::ZERO));
+        Scope {
+            active: Some(ActiveScope {
+                profiler: self.clone(),
+                name,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Clears the table (the enable flag is untouched).
+    pub fn reset(&self) {
+        self.rows().clear();
+    }
+
+    fn rows(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Acc>> {
+        match self.inner.rows.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        }
+    }
+
+    /// Snapshot of everything recorded so far, sorted by total time
+    /// descending (name as tie-break, so equal-time reports render
+    /// identically).
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        let mut rows: Vec<ProfileRow> = self
+            .rows()
+            .iter()
+            .map(|(name, acc)| ProfileRow {
+                name: (*name).to_owned(),
+                calls: acc.calls,
+                total_s: acc.total.as_secs_f64(),
+                self_s: acc.total.saturating_sub(acc.child).as_secs_f64(),
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.total_s
+                .partial_cmp(&a.total_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        ProfileReport { rows }
+    }
+}
+
+struct ActiveScope {
+    profiler: Profiler,
+    name: &'static str,
+    start: Instant,
+}
+
+/// RAII span guard returned by [`Profiler::scope`].
+#[must_use = "a span records when the guard drops; dropping it immediately measures nothing"]
+pub struct Scope {
+    active: Option<ActiveScope>,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let elapsed = a.start.elapsed();
+        let child = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(Duration::ZERO);
+            if let Some(parent) = stack.last_mut() {
+                *parent += elapsed;
+            }
+            child
+        });
+        let mut rows = a.profiler.rows();
+        let acc = rows.entry(a.name).or_default();
+        acc.calls += 1;
+        acc.total += elapsed;
+        acc.child += child;
+    }
+}
+
+/// One span in a [`ProfileReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Span name.
+    pub name: String,
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Inclusive wall time in seconds.
+    pub total_s: f64,
+    /// Exclusive wall time (total minus time in nested spans) in
+    /// seconds.
+    pub self_s: f64,
+}
+
+/// Aggregated span table, sorted by total time descending.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Rows, hottest first.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl ProfileReport {
+    /// Renders an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>10}  {:>12}  {:>12}",
+            "span", "calls", "total (s)", "self (s)"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>10}  {:>12.6}  {:>12.6}",
+                r.name, r.calls, r.total_s, r.self_s
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(d: Duration) {
+        let start = Instant::now();
+        while start.elapsed() < d {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::new();
+        {
+            let _s = p.scope("never");
+        }
+        assert!(p.report().rows.is_empty());
+    }
+
+    #[test]
+    fn enabled_profiler_counts_calls() {
+        let p = Profiler::new();
+        p.enable(true);
+        for _ in 0..3 {
+            let _s = p.scope("work");
+        }
+        let rep = p.report();
+        assert_eq!(rep.rows.len(), 1);
+        assert_eq!(rep.rows[0].name, "work");
+        assert_eq!(rep.rows[0].calls, 3);
+    }
+
+    #[test]
+    fn nested_spans_split_self_and_child_time() {
+        let p = Profiler::new();
+        p.enable(true);
+        {
+            let _outer = p.scope("outer");
+            spin(Duration::from_millis(5));
+            {
+                let _inner = p.scope("inner");
+                spin(Duration::from_millis(10));
+            }
+        }
+        let rep = p.report();
+        let outer = rep.rows.iter().find(|r| r.name == "outer").unwrap();
+        let inner = rep.rows.iter().find(|r| r.name == "inner").unwrap();
+        assert!(outer.total_s >= inner.total_s);
+        // The outer span spent most of its time inside `inner`, so its
+        // self time must be well below its total.
+        assert!(outer.self_s < outer.total_s * 0.9);
+        assert!(inner.self_s > 0.0);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let p = Profiler::new();
+        p.enable(true);
+        let q = p.clone();
+        {
+            let _s = q.scope("shared");
+        }
+        assert_eq!(p.report().rows[0].calls, 1);
+    }
+
+    #[test]
+    fn reset_clears_rows_but_not_enablement() {
+        let p = Profiler::new();
+        p.enable(true);
+        {
+            let _s = p.scope("x");
+        }
+        p.reset();
+        assert!(p.report().rows.is_empty());
+        assert!(p.enabled());
+    }
+
+    #[test]
+    fn spans_on_worker_threads_aggregate() {
+        let p = Profiler::new();
+        p.enable(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = p.clone();
+                s.spawn(move || {
+                    let _s = q.scope("worker");
+                });
+            }
+        });
+        assert_eq!(p.report().rows[0].calls, 4);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let p = Profiler::new();
+        p.enable(true);
+        {
+            let _s = p.scope("j");
+        }
+        let json = serde_json::to_string(&p.report()).unwrap();
+        assert!(json.contains("\"name\":\"j\""));
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let p = Profiler::new();
+        p.enable(true);
+        {
+            let _s = p.scope("alpha");
+        }
+        let text = p.report().render();
+        assert!(text.contains("span"));
+        assert!(text.contains("alpha"));
+    }
+}

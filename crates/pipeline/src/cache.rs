@@ -334,6 +334,13 @@ impl MemHierarchy {
     pub fn l2(&self) -> &Cache {
         &self.l2
     }
+
+    /// Total prefetches issued by the stream prefetcher (0 when
+    /// prefetching is disabled).
+    #[must_use]
+    pub fn prefetch_issued(&self) -> u64 {
+        self.prefetcher.as_ref().map_or(0, StreamPrefetcher::issued)
+    }
 }
 
 #[cfg(test)]

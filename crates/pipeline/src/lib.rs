@@ -62,6 +62,10 @@ mod stats;
 pub use cache::{Cache, CacheConfig, MemHierarchy, MemHierarchyConfig, StreamPrefetcher};
 pub use config::{GatingConfig, PipelineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
+/// The observability layer (counters, tracer, profiler), re-exported
+/// so downstream crates can name its types without a separate
+/// dependency edge.
+pub use perconf_obs as obs;
 pub use sim::{Controller, SimError, Simulation};
 pub use smt::{FetchPolicy, SmtSimulation};
 pub use stats::SimStats;

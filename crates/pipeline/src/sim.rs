@@ -1,9 +1,13 @@
 use crate::cache::MemHierarchy;
 use crate::config::PipelineConfig;
 use crate::stats::SimStats;
-use perconf_bpred::{digest_value, SimPredictor, Snapshot, SnapshotError};
-use perconf_core::{AlwaysHigh, BranchDecision, GateCounter, SimEstimator, SpeculationController};
+use perconf_bpred::{digest_value, BranchPredictor, SimPredictor, Snapshot, SnapshotError};
+use perconf_core::{
+    AlwaysHigh, BranchDecision, ConfidenceEstimator, GateCounter, SimEstimator,
+    SpeculationController,
+};
 use perconf_metrics::DensityPair;
+use perconf_obs::{CounterSnapshot, Counters, Profiler, TraceEvent, Tracer};
 use perconf_workload::{Uop, UopKind, WorkloadConfig, WorkloadGenerator};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashSet, VecDeque};
@@ -153,6 +157,15 @@ pub struct Simulation {
     ldq_occ: usize,
     stq_occ: usize,
     stats: SimStats,
+    // --- observability (derived outputs; deliberately excluded from
+    // snapshots and digests — the simulator never reads them back, so
+    // a traced run is bit-identical to an untraced one) ---
+    tracer: Tracer,
+    profiler: Profiler,
+    /// Cycles of the gate stall currently in progress, for pairing
+    /// `GateStallBegin`/`GateStallEnd` trace events. Only advances
+    /// while the tracer is enabled.
+    gate_streak: u64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -204,6 +217,9 @@ impl Simulation {
             stq_occ: 0,
             cfg,
             stats,
+            tracer: Tracer::new(),
+            profiler: Profiler::default(),
+            gate_streak: 0,
         }
     }
 
@@ -241,6 +257,106 @@ impl Simulation {
     #[must_use]
     pub fn mem(&self) -> &MemHierarchy {
         &self.mem
+    }
+
+    /// Attaches a tracer; subsequent cycles record events into it
+    /// (subject to its runtime level, and only in builds with the
+    /// `trace` feature).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Attaches a profiler; when it is enabled, the five pipeline
+    /// stages record spans every cycle.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// The attached profiler handle.
+    #[must_use]
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Materializes the hierarchical counter view of the machine,
+    /// grouped by subsystem (`fetch`, `rob`, `cache`, `predictor`,
+    /// `estimator`, `gating`).
+    ///
+    /// Counters are *derived* from state the simulator already keeps
+    /// ([`SimStats`], cache hit/miss totals, controller metadata), so
+    /// building a snapshot costs nothing during simulation, survives
+    /// checkpoint/restore exactly (everything it reads is snapshotted
+    /// state), and can never perturb a run. Snapshots taken at two
+    /// points diff to the interval's activity; snapshots from sweep
+    /// workers merge deterministically.
+    #[must_use]
+    pub fn counters(&self) -> CounterSnapshot {
+        let s = &self.stats;
+        let mut c = Counters::new();
+        c.counter("fetch", "cycles", s.cycles)
+            .counter("fetch", "uops_correct", s.fetched_correct)
+            .counter("fetch", "uops_wrong", s.fetched_wrong)
+            .counter("fetch", "redirect_cycles", s.redirect_cycles);
+        c.counter("rob", "retired", s.retired)
+            .counter("rob", "executed_correct", s.executed_correct)
+            .counter("rob", "executed_wrong", s.executed_wrong)
+            .counter("rob", "squashed_uops", s.squashed)
+            .counter("rob", "squashes", s.squashes)
+            .counter("rob", "occupancy_sum", s.rob_occupancy_sum)
+            .counter("rob", "stall_empty", s.stall_empty)
+            .counter("rob", "stall_deps", s.stall_deps)
+            .counter("rob", "stall_fu", s.stall_fu)
+            .counter("rob", "stall_load", s.stall_load)
+            .counter("rob", "stall_exec", s.stall_exec);
+        c.counter("cache", "l1_hits", self.mem.l1().hits())
+            .counter("cache", "l1_misses", self.mem.l1().misses())
+            .counter("cache", "l2_hits", self.mem.l2().hits())
+            .counter("cache", "l2_misses", self.mem.l2().misses())
+            .counter("cache", "prefetches_issued", self.mem.prefetch_issued());
+        c.counter("predictor", "branches_retired", s.branches_retired)
+            .counter("predictor", "base_mispredicts", s.base_mispredicts)
+            .counter(
+                "predictor",
+                "speculated_mispredicts",
+                s.speculated_mispredicts,
+            )
+            .gauge(
+                "predictor",
+                "storage_bits",
+                self.ctl.predictor().storage_bits(),
+            );
+        c.counter("estimator", "flagged_low", s.confusion.flagged_low())
+            .counter("estimator", "hits_low_mispredicted", s.confusion.miss_low)
+            .counter(
+                "estimator",
+                "missed_high_mispredicted",
+                s.confusion.miss_high,
+            )
+            .counter(
+                "estimator",
+                "false_alarms_low_correct",
+                s.confusion.correct_low,
+            )
+            .counter("estimator", "reversals", s.reversals)
+            .counter("estimator", "reversals_good", s.reversals_good)
+            .counter("estimator", "reversals_bad", s.reversals_bad)
+            .gauge(
+                "estimator",
+                "storage_bits",
+                self.ctl.estimator().storage_bits(),
+            );
+        c.counter("gating", "gated_cycles", s.gated_cycles).counter(
+            "gating",
+            "resolution_delay_sum",
+            s.resolution_delay_sum,
+        );
+        c.snapshot()
     }
 
     /// Runs until `uops` further correct-path uops retire; returns the
@@ -316,19 +432,64 @@ impl Simulation {
     /// Returns a [`SimError`] when an internal invariant breaks this
     /// cycle (checked in release builds too).
     pub fn try_step(&mut self) -> Result<(), SimError> {
+        // One flag load per cycle picks the stage sequence: the
+        // profiled variant pays a scope guard per stage, the plain one
+        // is byte-for-byte the uninstrumented loop. Splitting here
+        // (rather than relying on per-scope disabled checks) keeps the
+        // profiler's cost out of the hot path entirely when it is off.
+        if self.profiler.enabled() {
+            self.try_step_profiled()
+        } else {
+            self.now += 1;
+            self.stats.rob_occupancy_sum += self.rob.len() as u64;
+            self.retire();
+            self.complete_and_resolve();
+            self.issue();
+            self.dispatch();
+            if self.rob.len() > self.cfg.rob_size {
+                return Err(SimError::RobOverflow {
+                    len: self.rob.len(),
+                    cap: self.cfg.rob_size,
+                });
+            }
+            self.fetch()?;
+            self.stats.cycles += 1;
+            Ok(())
+        }
+    }
+
+    /// [`try_step`](Self::try_step) with a profiling span around each
+    /// stage. Must stay in lockstep with the plain sequence above —
+    /// the `observability_never_perturbs_the_run` test pins that.
+    fn try_step_profiled(&mut self) -> Result<(), SimError> {
         self.now += 1;
         self.stats.rob_occupancy_sum += self.rob.len() as u64;
-        self.retire();
-        self.complete_and_resolve();
-        self.issue();
-        self.dispatch();
+        {
+            let _s = self.profiler.scope("sim/retire");
+            self.retire();
+        }
+        {
+            let _s = self.profiler.scope("sim/complete_resolve");
+            self.complete_and_resolve();
+        }
+        {
+            let _s = self.profiler.scope("sim/issue");
+            self.issue();
+        }
+        {
+            let _s = self.profiler.scope("sim/dispatch");
+            self.dispatch();
+        }
         if self.rob.len() > self.cfg.rob_size {
             return Err(SimError::RobOverflow {
                 len: self.rob.len(),
                 cap: self.cfg.rob_size,
             });
         }
-        self.fetch()?;
+        {
+            let _s = self.profiler.scope("sim/fetch");
+            self.fetch()?;
+        }
         self.stats.cycles += 1;
         Ok(())
     }
@@ -430,21 +591,32 @@ impl Simulation {
             self.mark_complete(seq);
             if is_branch {
                 self.release_gate(seq);
-                let mispredicted_boundary = {
+                let resolved = {
                     let e = &self.rob[idx];
                     match (&e.decision, e.uop.branch) {
-                        (Some(d), Some(br)) if !wrong_path => d.speculated_taken != br.taken,
-                        _ => false,
+                        (Some(d), Some(br)) if !wrong_path => {
+                            Some((br.pc, d.speculated_taken != br.taken))
+                        }
+                        _ => None,
                     }
                 };
-                if mispredicted_boundary {
-                    debug_assert_eq!(self.wrong_path_since, Some(seq));
-                    self.stats.resolution_delay_sum += self.now - self.rob[idx].fetched_at;
-                    self.squash_after(seq);
-                    self.fetch_history = self.restore_history;
-                    self.wrong_path_since = None;
-                    self.redirect_until = self.now + 1;
-                    self.stats.squashes += 1;
+                if let Some((pc, mispredicted)) = resolved {
+                    if self.tracer.enabled() {
+                        self.tracer.record(TraceEvent::BranchResolved {
+                            cycle: self.now,
+                            pc,
+                            mispredicted,
+                        });
+                    }
+                    if mispredicted {
+                        debug_assert_eq!(self.wrong_path_since, Some(seq));
+                        self.stats.resolution_delay_sum += self.now - self.rob[idx].fetched_at;
+                        self.squash_after(seq);
+                        self.fetch_history = self.restore_history;
+                        self.wrong_path_since = None;
+                        self.redirect_until = self.now + 1;
+                        self.stats.squashes += 1;
+                    }
                 }
             }
         }
@@ -576,7 +748,21 @@ impl Simulation {
         }
         if self.cfg.gating.is_some() && self.gate.should_gate() {
             self.stats.gated_cycles += 1;
+            if self.tracer.enabled() {
+                if self.gate_streak == 0 {
+                    self.tracer
+                        .record(TraceEvent::GateStallBegin { cycle: self.now });
+                }
+                self.gate_streak += 1;
+            }
             return Ok(());
+        }
+        if self.gate_streak > 0 {
+            self.tracer.record(TraceEvent::GateStallEnd {
+                cycle: self.now,
+                stalled: self.gate_streak,
+            });
+            self.gate_streak = 0;
         }
         for _ in 0..self.cfg.width {
             if self.frontend.len() >= self.cfg.frontend_capacity() {
@@ -617,6 +803,14 @@ impl Simulation {
             };
             if let Some(br) = uop.branch {
                 let d = self.ctl.decide(br.pc, self.fetch_history);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent::ConfidenceBucket {
+                        cycle: self.now,
+                        pc: br.pc,
+                        raw: i64::from(d.estimate.raw),
+                        class: d.estimate.class.index(),
+                    });
+                }
                 self.fetch_history = (self.fetch_history << 1) | u64::from(d.speculated_taken);
                 if let Some(g) = self.cfg.gating {
                     if d.gates() {
@@ -1084,5 +1278,93 @@ mod tests {
         let stats = sim.run(20_000);
         assert_eq!(stats.confusion.total(), stats.branches_retired);
         assert_eq!(stats.confusion.mispredicted(), stats.base_mispredicts);
+    }
+
+    #[test]
+    fn counters_snapshot_reflects_stats_and_caches() {
+        let wl = workload("twolf");
+        let ce =
+            Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>;
+        let mut sim = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce));
+        sim.run(20_000);
+        let snap = sim.counters();
+        let s = sim.stats();
+        assert_eq!(snap.get("fetch", "cycles"), Some(s.cycles));
+        assert_eq!(snap.get("rob", "retired"), Some(s.retired));
+        assert_eq!(
+            snap.get("predictor", "branches_retired"),
+            Some(s.branches_retired)
+        );
+        assert_eq!(snap.get("gating", "gated_cycles"), Some(s.gated_cycles));
+        assert_eq!(
+            snap.get("estimator", "flagged_low"),
+            Some(s.confusion.flagged_low())
+        );
+        assert_eq!(snap.get("cache", "l1_hits"), Some(sim.mem().l1().hits()));
+        // Storage gauges come from the controller, not the stats.
+        assert!(snap.get("predictor", "storage_bits").unwrap() > 0);
+        assert!(snap.get("estimator", "storage_bits").unwrap() > 0);
+        // Every advertised group is present.
+        for group in ["fetch", "rob", "cache", "predictor", "estimator", "gating"] {
+            assert!(
+                snap.entries().iter().any(|e| e.group == group),
+                "missing group {group}"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_diff_between_two_points_is_the_delta() {
+        let mut sim = Simulation::with_defaults(PipelineConfig::shallow(), &workload("gcc"));
+        sim.run(5_000);
+        let before = sim.counters();
+        sim.run(5_000);
+        let after = sim.counters();
+        let delta = after.diff(&before);
+        assert_eq!(
+            delta.get("rob", "retired"),
+            Some(sim.stats().retired - before.get("rob", "retired").unwrap())
+        );
+        // A gauge keeps the later value rather than subtracting.
+        assert_eq!(
+            delta.get("predictor", "storage_bits"),
+            after.get("predictor", "storage_bits")
+        );
+    }
+
+    #[test]
+    fn observability_never_perturbs_the_run() {
+        use perconf_obs::{Profiler, TraceLevel, Tracer};
+        let wl = workload("twolf");
+        let ce =
+            || Box::new(PerceptronCe::new(PerceptronCeConfig::default())) as Box<dyn SimEstimator>;
+
+        let mut plain = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce()));
+        let mut observed = Simulation::new(PipelineConfig::deep().gated(1), &wl, controller(ce()));
+        let tracer = Tracer::new();
+        tracer.set_level(TraceLevel::Verbose);
+        // Redundant with the feature off (ZST handle), required with it
+        // on (Arc handle); one allow keeps the test identical in both.
+        #[allow(clippy::clone_on_copy)]
+        observed.set_tracer(tracer.clone());
+        let profiler = Profiler::default();
+        profiler.enable(true);
+        observed.set_profiler(profiler);
+
+        plain.run(20_000);
+        observed.run(20_000);
+
+        // The determinism contract: tracing and profiling are derived
+        // outputs — the simulated machine is bit-identical either way.
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.state_digest(), observed.state_digest());
+        assert_eq!(plain.counters(), observed.counters());
+
+        if Tracer::COMPILED {
+            let (events, _) = tracer.drain();
+            assert!(!events.is_empty(), "traced run produced no events");
+            assert!(events.iter().any(|e| e.kind_name() == "confidence_bucket"));
+            assert!(events.iter().any(|e| e.kind_name() == "branch_resolved"));
+        }
     }
 }
