@@ -8,10 +8,13 @@
 //! repro verify [--bench <name>] [--full | --tiny]
 //!              [--trace <file> [--tolerant]]
 //! repro obs <file.pobs> [--jsonl <file>] [--force]
+//! repro sweep --queue <dir> [--workers <n>] [--grid full|small]
+//!             [--lease-secs <s>] [--chaos <spec>] [--cell-timeout <s>]
+//! repro faults --gc --resume <dir>
 //!
 //! experiments: table2 table3 table4 table5 table6
 //!              fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults
-//!              verify obs all
+//!              sweep verify obs all
 //! ```
 //!
 //! `--resume <dir>` checkpoints every sweep cell into `<dir>` and, on
@@ -57,15 +60,99 @@
 //! `--trace` it also integrity-scans an on-disk uop trace (add
 //! `--tolerant` to skip corrupt records, resync and count them instead
 //! of aborting).
+//!
+//! `sweep` runs the faults grid across `--workers <n>` worker
+//! *processes* coordinated through a filesystem lease queue at
+//! `--queue <dir>` (see `perconf_experiments::distrib`). Output is
+//! byte-identical to a single-process run, including when workers are
+//! killed mid-sweep (`--chaos kill-mid-cell=1.0,seed=3` scripts
+//! deterministic process faults into the fleet). The coordinator
+//! respawns dead workers, drains stragglers inline, and merges in
+//! canonical grid order; scheduling statistics land in the queue's
+//! `report.json`, never in the diffable output. `--worker-id` /
+//! `--chaos-script` are the internal worker-mode flags the coordinator
+//! uses when re-invoking this binary.
+//!
+//! `repro faults --gc --resume <dir>` garbage-collects a checkpoint
+//! directory (orphaned mid-cell partials whose final result landed,
+//! leftover atomic-write temp files) without running anything; clean
+//! sweep completions run the same collection automatically.
+//!
+//! Exit codes (see `perconf_experiments::exit`): 0 success, 1
+//! unclassified error, 2 usage error, 3 success after degrading
+//! corrupt input to recomputation, 4 failed sweep cells, 5 failed
+//! cells where every failure was a watchdog timeout.
 
-use perconf_experiments::runner::{default_jobs, RunnerConfig, Scheduler, SchedulerConfig};
-use perconf_experiments::{
-    common, energy, faults, fig89, figs, latency, table2, table3, table4, table5, table6, verify,
-    Scale,
+use perconf_experiments::runner::{
+    default_jobs, degraded_count, gc_dir, RunnerConfig, Scheduler, SchedulerConfig,
 };
+use perconf_experiments::{
+    common, distrib, energy, exit, faults, fig89, figs, latency, table2, table3, table4, table5,
+    table6, verify, Scale,
+};
+use perconf_faults::{process::parse_script, ChaosConfig};
 use perconf_obs::{pobs, CounterSnapshot, TraceLevel, Tracer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Why a run failed, classified for the documented exit-code taxonomy
+/// (`perconf_experiments::exit`). `From<String>` keeps `?` working on
+/// the many helpers that error with plain rendered strings — those
+/// map to the unclassified code 1.
+enum RunFailure {
+    /// Bad flag combination or unknown experiment → exit 2.
+    Usage(String),
+    /// The sweep finished but cells failed terminally → exit 4, or 5
+    /// when every failure class is `timeout`.
+    FailedCells {
+        keys: Vec<String>,
+        kinds: Vec<String>,
+    },
+    /// Everything else → exit 1.
+    Other(String),
+}
+
+impl From<String> for RunFailure {
+    fn from(s: String) -> Self {
+        RunFailure::Other(s)
+    }
+}
+
+impl RunFailure {
+    fn exit_code(&self) -> u8 {
+        match self {
+            RunFailure::Usage(_) => exit::USAGE,
+            RunFailure::FailedCells { kinds, .. } => {
+                if !kinds.is_empty() && kinds.iter().all(|k| k == "timeout") {
+                    exit::WATCHDOG
+                } else {
+                    exit::FAILED_CELLS
+                }
+            }
+            RunFailure::Other(_) => exit::FAILURE,
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            RunFailure::Usage(m) | RunFailure::Other(m) => m.clone(),
+            RunFailure::FailedCells { keys, kinds } => {
+                let all_timeout = !kinds.is_empty() && kinds.iter().all(|k| k == "timeout");
+                format!(
+                    "{} sweep cell(s) failed{}: {}",
+                    keys.len(),
+                    if all_timeout {
+                        " (all watchdog timeouts — consider a longer --cell-timeout)"
+                    } else {
+                        ""
+                    },
+                    keys.join(", ")
+                )
+            }
+        }
+    }
+}
 
 /// Writes `body` to `path` atomically (sibling temp file + rename),
 /// refusing to replace an existing file unless `force` is set. The
@@ -144,6 +231,24 @@ struct Args {
     trace_out: Option<PathBuf>,
     jsonl: Option<PathBuf>,
     force: bool,
+    /// Queue directory for the distributed `sweep` experiment.
+    queue: Option<PathBuf>,
+    /// Worker processes for `sweep` (1 = inline, no subprocess).
+    workers: usize,
+    /// Grid selector for `faults`/`sweep`: `full` or `small`.
+    grid: String,
+    /// Lease duration for `sweep` queue claims.
+    lease_secs: u64,
+    /// Chaos campaign spec (`key=value,...`) for `sweep`.
+    chaos: Option<String>,
+    /// Per-attempt cell watchdog for `sweep` (`None` = no watchdog).
+    cell_timeout: Option<u64>,
+    /// Internal: run as a sweep worker with this id.
+    worker_id: Option<String>,
+    /// Internal: this worker's rendered chaos script.
+    chaos_script: Option<String>,
+    /// Garbage-collect the `--resume` directory instead of sweeping.
+    gc: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -164,6 +269,15 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     let mut jsonl = None;
     let mut force = false;
+    let mut queue = None;
+    let mut workers = 1;
+    let mut grid = "full".to_owned();
+    let mut lease_secs = 30;
+    let mut chaos = None;
+    let mut cell_timeout = None;
+    let mut worker_id = None;
+    let mut chaos_script = None;
+    let mut gc = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -218,6 +332,50 @@ fn parse_args() -> Result<Args, String> {
                 jsonl = Some(PathBuf::from(it.next().ok_or("--jsonl needs a file")?));
             }
             "--force" => force = true,
+            "--queue" => {
+                queue = Some(PathBuf::from(it.next().ok_or("--queue needs a directory")?));
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a process count")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--grid" => {
+                grid = it.next().ok_or("--grid needs `full` or `small`")?;
+                if grid != "full" && grid != "small" {
+                    return Err(format!("--grid must be `full` or `small`, got `{grid}`"));
+                }
+            }
+            "--lease-secs" => {
+                lease_secs = it
+                    .next()
+                    .ok_or("--lease-secs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--lease-secs: {e}"))?;
+                if lease_secs == 0 {
+                    return Err("--lease-secs must be at least 1".to_owned());
+                }
+            }
+            "--chaos" => {
+                chaos = Some(it.next().ok_or("--chaos needs a key=value,... spec")?);
+            }
+            "--cell-timeout" => {
+                cell_timeout = Some(
+                    it.next()
+                        .ok_or("--cell-timeout needs seconds")?
+                        .parse()
+                        .map_err(|e| format!("--cell-timeout: {e}"))?,
+                );
+            }
+            "--worker-id" => {
+                worker_id = Some(it.next().ok_or("--worker-id needs an id")?);
+            }
+            "--chaos-script" => {
+                chaos_script = Some(it.next().ok_or("--chaos-script needs a script")?);
+            }
+            "--gc" => gc = true,
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -248,7 +406,24 @@ fn parse_args() -> Result<Args, String> {
         trace_out,
         jsonl,
         force,
+        queue,
+        workers,
+        grid,
+        lease_secs,
+        chaos,
+        cell_timeout,
+        worker_id,
+        chaos_script,
+        gc,
     })
+}
+
+fn grid_by_name(name: &str) -> faults::Grid {
+    if name == "small" {
+        faults::Grid::small()
+    } else {
+        faults::Grid::full()
+    }
 }
 
 /// The `verify` experiment: determinism, replay and fault-divergence
@@ -420,7 +595,11 @@ fn run_obs(args: &Args) -> Result<(), String> {
 /// experiments that produce a merged [`CounterSnapshot`] (currently the
 /// `faults` sweep) deposit it there so `main` can include it in
 /// `--metrics-out`.
-fn run_one(name: &str, args: &Args, counters: &mut Option<CounterSnapshot>) -> Result<(), String> {
+fn run_one(
+    name: &str,
+    args: &Args,
+    counters: &mut Option<CounterSnapshot>,
+) -> Result<(), RunFailure> {
     let scale = args.scale;
     match name {
         "table2" => {
@@ -504,8 +683,14 @@ fn run_one(name: &str, args: &Args, counters: &mut Option<CounterSnapshot>) -> R
             save_json(&args.json_dir, "energy", &e);
         }
         "faults" => {
+            if args.gc {
+                return run_gc(args);
+            }
             let runner_cfg = match &args.resume_dir {
-                Some(dir) => RunnerConfig::resuming(dir),
+                Some(dir) => {
+                    note_resume_dir_state(dir);
+                    RunnerConfig::resuming(dir)
+                }
                 None => RunnerConfig {
                     timeout: None,
                     ..RunnerConfig::default()
@@ -516,7 +701,7 @@ fn run_one(name: &str, args: &Args, counters: &mut Option<CounterSnapshot>) -> R
                 jobs: args.jobs,
             });
             let (t, timings) =
-                faults::run_grid(scale, args.seed, &faults::Grid::full(), &mut scheduler);
+                faults::run_grid(scale, args.seed, &grid_by_name(&args.grid), &mut scheduler);
             println!("{}", t.render());
             println!(
                 "faults degrade metrics monotonically: {}",
@@ -525,18 +710,162 @@ fn run_one(name: &str, args: &Args, counters: &mut Option<CounterSnapshot>) -> R
             *counters = Some(t.counters.clone());
             report_timings(&timings, args.jobs, &args.timing, args.force);
             save_json(&args.json_dir, "faults", &t);
-            if !t.failed.is_empty() {
-                return Err(format!(
-                    "{} sweep cells failed: {}",
-                    t.failed.len(),
-                    t.failed.join(", ")
-                ));
+            if t.failed.is_empty() {
+                // Clean completion: collect the stale partials and
+                // temp files a killed earlier run may have left.
+                if let Some(dir) = &args.resume_dir {
+                    let gc = gc_dir(dir);
+                    if gc.total() > 0 {
+                        eprintln!(
+                            "[gc: removed {} stale partial(s), {} temp file(s) from {}]",
+                            gc.partials_removed,
+                            gc.temps_removed,
+                            dir.display()
+                        );
+                    }
+                }
+            } else {
+                // Failure classes come from the timing rows, which
+                // carry each failed cell's terminal error kind.
+                let kinds = t
+                    .failed
+                    .iter()
+                    .map(|key| {
+                        timings
+                            .iter()
+                            .find(|row| &row.key == key)
+                            .and_then(|row| row.error_kind.clone())
+                            .unwrap_or_else(|| "unknown".to_owned())
+                    })
+                    .collect();
+                return Err(RunFailure::FailedCells {
+                    keys: t.failed.clone(),
+                    kinds,
+                });
+            }
+        }
+        "sweep" => {
+            if let Some(id) = &args.worker_id {
+                return run_sweep_worker(args, id);
+            }
+            let queue_root = args.queue.clone().ok_or_else(|| {
+                RunFailure::Usage("sweep needs --queue <dir> (the shared queue directory)".into())
+            })?;
+            let chaos = match &args.chaos {
+                Some(spec) => Some(ChaosConfig::parse(spec).map_err(RunFailure::Usage)?),
+                None => None,
+            };
+            let cfg = distrib::SweepConfig {
+                queue_root,
+                workers: args.workers,
+                scale,
+                seed: args.seed,
+                grid: grid_by_name(&args.grid),
+                lease: Duration::from_secs(args.lease_secs),
+                chaos,
+                cell_timeout: args.cell_timeout.map(Duration::from_secs),
+            };
+            let (t, d) = distrib::run_sweep(&cfg)?;
+            println!("{}", t.render());
+            println!(
+                "faults degrade metrics monotonically: {}",
+                t.degrades_monotonically()
+            );
+            *counters = Some(t.counters.clone());
+            save_json(&args.json_dir, "faults", &t);
+            eprintln!(
+                "[sweep: {} worker(s) spawned, {} respawned, {} chaos exit(s); \
+                 {} recovered from checkpoints, {} recomputed inline, {} mid-cell resume(s)]",
+                d.workers_spawned,
+                d.workers_respawned,
+                d.chaos_exits,
+                d.cells_recovered_from_checkpoint,
+                d.cells_recomputed_inline,
+                d.cells_resumed_mid_cell,
+            );
+            if !d.failed_cells.is_empty() {
+                return Err(RunFailure::FailedCells {
+                    keys: d.failed_cells.iter().map(|f| f.key.clone()).collect(),
+                    kinds: d.failed_cells.iter().map(|f| f.kind.clone()).collect(),
+                });
             }
         }
         "verify" => run_verify(args)?,
         "obs" => run_obs(args)?,
-        other => return Err(format!("unknown experiment: {other}")),
+        other => return Err(RunFailure::Usage(format!("unknown experiment: {other}"))),
     }
+    Ok(())
+}
+
+/// Warns (actionably) when `--resume` points at a directory that
+/// cannot actually resume anything — a missing or empty checkpoint
+/// dir silently behaving like a fresh run has burned people before.
+/// The run still proceeds: the directory is created lazily and this
+/// pass's checkpoints land in it.
+fn note_resume_dir_state(dir: &Path) {
+    if !dir.exists() {
+        eprintln!(
+            "note: --resume directory {} does not exist — nothing to resume from. \
+             Starting fresh; this run will create it and checkpoint into it. \
+             (Expected the <dir> passed to a previous `--resume <dir>` run.)",
+            dir.display()
+        );
+    } else if std::fs::read_dir(dir)
+        .map(|mut d| d.next().is_none())
+        .unwrap_or(false)
+    {
+        eprintln!(
+            "note: --resume directory {} is empty — nothing to resume from. \
+             Starting fresh; checkpoints from this run will land there.",
+            dir.display()
+        );
+    }
+}
+
+/// `repro faults --gc --resume <dir>`: collect stale checkpoint-dir
+/// garbage and report, without running a sweep.
+fn run_gc(args: &Args) -> Result<(), RunFailure> {
+    let Some(dir) = &args.resume_dir else {
+        return Err(RunFailure::Usage(
+            "--gc needs --resume <dir> (the checkpoint directory to collect)".into(),
+        ));
+    };
+    if !dir.exists() {
+        eprintln!(
+            "note: checkpoint directory {} does not exist — nothing to collect",
+            dir.display()
+        );
+        return Ok(());
+    }
+    let gc = gc_dir(dir);
+    println!(
+        "gc {}: removed {} stale partial(s), {} temp file(s)",
+        dir.display(),
+        gc.partials_removed,
+        gc.temps_removed
+    );
+    Ok(())
+}
+
+/// Internal worker mode: `repro sweep --queue <dir> --worker-id <id>`.
+/// Everything else (grid, scale, seed, lease) comes from the queue's
+/// manifest, so a worker can never disagree with its coordinator.
+fn run_sweep_worker(args: &Args, id: &str) -> Result<(), RunFailure> {
+    let queue_root = args
+        .queue
+        .clone()
+        .ok_or_else(|| RunFailure::Usage("worker mode needs --queue <dir>".into()))?;
+    let script = match &args.chaos_script {
+        Some(s) => parse_script(s).map_err(RunFailure::Usage)?,
+        None => Vec::new(),
+    };
+    let cfg = distrib::WorkerConfig {
+        script,
+        timeout: args.cell_timeout.map(Duration::from_secs),
+        ..distrib::WorkerConfig::new(queue_root, id)
+    };
+    let stats = distrib::run_worker(&cfg)?;
+    eprintln!("[worker {id} done]\n{}", stats.render());
     Ok(())
 }
 
@@ -599,17 +928,20 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>] [--jobs <n>] [--timing <file>]\n\
-                 \x20            [--profile] [--metrics-out <file>] [--trace-out <file>] [--force]\n\
+                 \x20            [--grid full|small] [--profile] [--metrics-out <file>] [--trace-out <file>] [--force]\n\
                  \x20      repro verify [--bench <name>] [--full | --tiny] [--trace <file> [--tolerant]]\n\
                  \x20      repro obs <file.pobs> [--jsonl <file>] [--force]\n\
-                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults verify obs all"
+                 \x20      repro sweep --queue <dir> [--workers <n>] [--grid full|small] [--lease-secs <s>] [--chaos <spec>] [--cell-timeout <s>]\n\
+                 \x20      repro faults --gc --resume <dir>\n\
+                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults sweep verify obs all\n\
+                 exit codes: 0 ok | 1 error | 2 usage | 3 ok-but-degraded-input | 4 failed cells | 5 all failures were watchdog timeouts"
             );
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::USAGE);
         }
     };
     if let Err(e) = check_output_paths(&args) {
         eprintln!("error: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(exit::USAGE);
     }
     if args.profile {
         common::profiler().enable(true);
@@ -637,15 +969,25 @@ fn main() -> ExitCode {
     } else {
         run_one(&args.experiment, &args, &mut counters)
     };
-    let result = result.and(finish_obs(&args, &counters));
+    let result = result.and(finish_obs(&args, &counters).map_err(RunFailure::from));
     match result {
         Ok(()) => {
             eprintln!("\n[{:.1}s elapsed]", start.elapsed().as_secs_f64());
+            let degraded = degraded_count();
+            if degraded > 0 {
+                // Success, but corrupt input was discarded and
+                // recomputed along the way — admit it in the status.
+                eprintln!(
+                    "[{degraded} corrupt input(s) degraded to recomputation — exit {}]",
+                    exit::DEGRADED
+                );
+                return ExitCode::from(exit::DEGRADED);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.render());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -10,10 +10,15 @@
 //! `--jobs <n>` fans the per-benchmark pipeline runs inside each
 //! experiment across `n` worker threads (`0` = every core; default
 //! every core). Claim outcomes are byte-identical at any job count.
+//!
+//! Exit codes follow the shared taxonomy
+//! (`perconf_experiments::exit`): 0 every check passed, 2 usage
+//! error, 3 all checks passed but corrupt input was degraded to
+//! recomputation, 4 one or more checks failed.
 
-use perconf_experiments::runner::default_jobs;
+use perconf_experiments::runner::{default_jobs, degraded_count};
 use perconf_experiments::{
-    common, energy, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
+    common, energy, exit, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
 };
 use std::process::ExitCode;
 
@@ -44,7 +49,7 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse::<usize>().ok())
                     .unwrap_or_else(|| {
                         eprintln!("--jobs needs a number");
-                        std::process::exit(2);
+                        std::process::exit(i32::from(exit::USAGE));
                     });
                 jobs = if n == 0 { default_jobs() } else { n };
             }
@@ -52,7 +57,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "unknown argument {other}; usage: validate [--tiny | --full] [--jobs <n>]"
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::USAGE);
             }
         }
     }
@@ -177,8 +182,18 @@ fn main() -> ExitCode {
         t0.elapsed().as_secs_f64()
     );
     if c.failures == 0 {
+        if degraded_count() > 0 {
+            eprintln!(
+                "[{} corrupt input(s) degraded to recomputation — exit {}]",
+                degraded_count(),
+                exit::DEGRADED
+            );
+            return ExitCode::from(exit::DEGRADED);
+        }
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        // Failed checks map to the "failed cells" code: the run
+        // finished, specific items within it did not.
+        ExitCode::from(exit::FAILED_CELLS)
     }
 }

@@ -79,6 +79,19 @@ impl Grid {
         }
     }
 
+    /// A 4-cell subgrid (one estimator, two benchmarks, zero and a
+    /// high fault rate) sized for CI's distributed-determinism checks,
+    /// where the same sweep runs several times under different worker
+    /// counts and chaos plans.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            estimators: vec!["jrs".to_owned()],
+            benchmarks: vec!["gcc".to_owned(), "twolf".to_owned()],
+            rates: vec![0.0, 1e-2],
+        }
+    }
+
     /// Number of cells in the grid.
     #[must_use]
     pub fn cell_count(&self) -> usize {
@@ -161,6 +174,17 @@ pub fn cell_seed(seed: u64, bench: &str, estimator: &str, rate_idx: usize) -> u6
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
     }
     h ^ (rate_idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
+/// Canonical checkpoint/queue key for one sweep cell. The campaign
+/// seed is part of the key so resuming (or a distributed queue) with a
+/// different `--seed` recomputes instead of serving another campaign's
+/// checkpoints. Shared by [`cell_specs`] and the
+/// [`distrib`](crate::distrib) queue so a worker's checkpoint files
+/// and the coordinator's result files always agree on names.
+#[must_use]
+pub fn cell_key(seed: u64, estimator: &str, bench: &str, rate_idx: usize) -> String {
+    format!("faults-s{seed}-{estimator}-{bench}-r{rate_idx}")
 }
 
 fn estimator_by_name(name: &str) -> Box<dyn perconf_core::FaultableEstimator> {
@@ -273,10 +297,7 @@ pub fn cell_specs(scale: Scale, seed: u64, grid: &Grid) -> Vec<CellSpec<FaultCel
     for est in &grid.estimators {
         for bench in &grid.benchmarks {
             for (ri, &rate) in grid.rates.iter().enumerate() {
-                // The campaign seed is part of the key so resuming
-                // with a different --seed recomputes instead of
-                // serving another campaign's checkpoints.
-                let key = format!("faults-s{seed}-{est}-{bench}-r{ri}");
+                let key = cell_key(seed, est, bench, ri);
                 let cs = cell_seed(seed, bench, est, ri);
                 let (b, e) = (bench.clone(), est.clone());
                 specs.push(CellSpec::new(key, move |chk: &CheckpointCell| {
@@ -310,18 +331,32 @@ pub fn run_grid(
             Err(_) => failed.push(r.key),
         }
     }
+    (table_from_cells(seed, grid, cells, failed), timings)
+}
+
+/// Assembles the deterministic sweep output from completed cells —
+/// the aggregation/merge half of [`run_grid`], split out so the
+/// distributed coordinator ([`crate::distrib`]) can feed it cells
+/// gathered from per-worker result files. Callers must pass `cells`
+/// in canonical grid order (estimator-major, then benchmark, then
+/// rate); both `run_grid` and the distributed merge do, which is why
+/// their outputs are byte-identical.
+#[must_use]
+pub fn table_from_cells(
+    seed: u64,
+    grid: &Grid,
+    cells: Vec<FaultCell>,
+    failed: Vec<String>,
+) -> FaultTable {
     let rows = aggregate(grid, &cells);
     let counters = CounterSnapshot::merge(cells.iter().map(|c| &c.counters));
-    (
-        FaultTable {
-            seed,
-            rows,
-            cells,
-            failed,
-            counters,
-        },
-        timings,
-    )
+    FaultTable {
+        seed,
+        rows,
+        cells,
+        failed,
+        counters,
+    }
 }
 
 /// Means per (estimator, rate) over whatever benchmarks completed;

@@ -23,6 +23,7 @@
 //! | `fig8`/`fig9` | combined gating + reversal per benchmark | [`fig89`] |
 //! | `energy` | energy / energy×delay of gating (extension) | [`energy`] |
 //! | `faults` | resilience under fault injection (extension) | [`faults`] |
+//! | `sweep` | distributed (multi-process) fault sweep | [`distrib`] |
 //!
 //! Long sweeps run their cells through [`runner::Runner`] (one cell
 //! at a time) or [`runner::Scheduler`] (`--jobs N` worker threads
@@ -31,7 +32,10 @@
 //! completed cells so `repro --resume <dir>` skips finished work.
 //! Scheduler output is byte-identical for any job count: results
 //! merge in canonical sweep order and every cell seeds from its grid
-//! coordinates, never from scheduling order.
+//! coordinates, never from scheduling order. [`distrib`] extends the
+//! same contract across worker *processes* via a filesystem lease
+//! queue: `repro sweep --workers N` is byte-identical to `--workers
+//! 1`, even when workers are killed and respawned mid-sweep.
 //!
 //! Absolute numbers differ from the paper (the substrate is a
 //! synthetic-trace simulator, not Intel's LIT testbed — see
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod distrib;
 pub mod energy;
 pub mod faults;
 pub mod fig89;
@@ -58,3 +63,36 @@ pub mod table6;
 pub mod verify;
 
 pub use common::Scale;
+
+/// Documented exit-code taxonomy shared by the `repro` and `validate`
+/// binaries, so scripts and CI can branch on *why* a run ended:
+///
+/// | code | meaning |
+/// |---|---|
+/// | 0 | success |
+/// | 1 | unclassified error (I/O, setup) |
+/// | 2 | usage error (bad flag, unknown experiment, bad combination) |
+/// | 3 | success, but corrupt input was discarded and recomputed |
+/// | 4 | sweep finished with terminally failed cells / failed checks |
+/// | 5 | sweep failed and *every* failure was a watchdog timeout |
+///
+/// Code 3 is the "degraded" contract: corrupt checkpoints, queue
+/// entries, or result files never abort a run — they degrade to
+/// recompute ([`runner::note_degraded`] counts each event) and the
+/// binary admits it happened through its exit status. Codes 4 and 5
+/// distinguish "some cells are genuinely broken" from "the time
+/// budget was too tight" (rerun with a longer `--cell-timeout`).
+pub mod exit {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// Unclassified failure.
+    pub const FAILURE: u8 = 1;
+    /// Command-line usage error.
+    pub const USAGE: u8 = 2;
+    /// Success after degrading corrupt input to recomputation.
+    pub const DEGRADED: u8 = 3;
+    /// One or more cells (or validation checks) failed terminally.
+    pub const FAILED_CELLS: u8 = 4;
+    /// Every terminal failure was a watchdog timeout.
+    pub const WATCHDOG: u8 = 5;
+}

@@ -71,7 +71,42 @@ impl std::fmt::Display for RunError {
     }
 }
 
+impl RunError {
+    /// Stable lowercase tag for the error class, used in timing rows
+    /// and exit-code classification.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Panic { .. } => "panic",
+            RunError::Timeout { .. } => "timeout",
+            RunError::Io { .. } => "io",
+            RunError::Invariant { .. } => "invariant",
+        }
+    }
+}
+
 impl std::error::Error for RunError {}
+
+/// Process-wide count of corrupt or unusable persisted inputs that
+/// were *discarded and recomputed* instead of aborting the run —
+/// checkpoints failing integrity checks, unreadable queue or result
+/// files, and the like. The binaries map a nonzero count on an
+/// otherwise successful run to the documented "degraded" exit code so
+/// CI and the distributed coordinator can tell "clean" from
+/// "recovered" without parsing stderr.
+static DEGRADED: AtomicUsize = AtomicUsize::new(0);
+
+/// Records one degraded-input event (and warns on stderr at the call
+/// site — this only does the accounting).
+pub fn note_degraded() {
+    DEGRADED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// How many corrupt inputs this process has discarded and recomputed.
+#[must_use]
+pub fn degraded_count() -> usize {
+    DEGRADED.load(Ordering::Relaxed)
+}
 
 impl From<std::io::Error> for RunError {
     fn from(e: std::io::Error) -> Self {
@@ -188,6 +223,7 @@ impl CheckpointCell {
                     "warning: discarding unusable partial checkpoint {}: {e}",
                     path.display()
                 );
+                note_degraded();
                 let _ = std::fs::remove_file(path);
                 None
             }
@@ -293,6 +329,7 @@ impl<T> CellReport<T> {
             resumed: self.resumed,
             resumed_mid_cell: self.resumed_mid_cell,
             ok: self.outcome.is_ok(),
+            error_kind: self.outcome.as_ref().err().map(|e| e.kind().to_owned()),
         }
     }
 }
@@ -317,6 +354,9 @@ pub struct CellTiming {
     pub resumed_mid_cell: bool,
     /// The cell reached a successful terminal status.
     pub ok: bool,
+    /// Error class of the terminal failure (`panic`, `timeout`, `io`,
+    /// `invariant`); `None` when the cell succeeded.
+    pub error_kind: Option<String>,
 }
 
 /// The shared per-cell engine: final-checkpoint resume, failure-marker
@@ -504,6 +544,7 @@ fn load_final_checkpoint<T: DeserializeOwned>(cfg: &RunnerConfig, key: &str) -> 
                 "warning: discarding unreadable checkpoint {}: {e}",
                 path.display()
             );
+            note_degraded();
             let _ = std::fs::remove_file(&path);
             None
         }
@@ -524,8 +565,64 @@ fn write_final_checkpoint<T: Serialize>(
     let text = serde_json::to_string_pretty(value).map_err(|e| RunError::Io {
         message: format!("cannot serialize checkpoint: {e}"),
     })?;
-    std::fs::write(&path, text)?;
+    // Atomic (pid-unique temp + rename): in a distributed sweep two
+    // worker processes may finish the same cell, and the loser must
+    // replace the winner's byte-identical file whole, never tear it.
+    let tmp = path.with_extension(format!("json.tmp{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, &path)?;
     Ok(())
+}
+
+/// What [`gc_dir`] removed from a checkpoint directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcReport {
+    /// `<key>.part.psnap` partials whose cell already has its final
+    /// `<key>.json` result — dead weight a crash window left behind.
+    pub partials_removed: usize,
+    /// Leftover atomic-write temp files (`*.tmp*`) from interrupted
+    /// writers.
+    pub temps_removed: usize,
+}
+
+impl GcReport {
+    /// Total files removed.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.partials_removed + self.temps_removed
+    }
+}
+
+/// Garbage-collects a checkpoint directory: removes mid-cell partial
+/// checkpoints whose final result already landed (a kill between
+/// "final checkpoint written" and "partial cleared" leaves them
+/// behind, and they would otherwise linger forever in resume dirs)
+/// and stray atomic-write temp files. Final checkpoints and failure
+/// markers are never touched — they carry state a resume needs.
+///
+/// Best-effort by design: unreadable directory entries are skipped,
+/// and a missing directory is an empty report, so callers can invoke
+/// it unconditionally on clean completion.
+#[must_use]
+pub fn gc_dir(dir: &Path) -> GcReport {
+    let mut report = GcReport::default();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return report;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(stem) = name.strip_suffix(".part.psnap") {
+            if dir.join(format!("{stem}.json")).is_file() && std::fs::remove_file(&path).is_ok() {
+                report.partials_removed += 1;
+            }
+        } else if name.contains(".tmp") && std::fs::remove_file(&path).is_ok() {
+            report.temps_removed += 1;
+        }
+    }
+    report
 }
 
 fn write_failure_marker(cfg: &RunnerConfig, key: &str, err: &RunError) {
@@ -659,6 +756,19 @@ impl Runner {
         T: Serialize + DeserializeOwned + Send + 'static,
         F: Fn(&CheckpointCell) -> T + Send + Sync + 'static,
     {
+        self.run_cell_report(key, work).outcome
+    }
+
+    /// Like [`run_cell_resumable`](Self::run_cell_resumable) but
+    /// returns the full [`CellReport`], exposing the resume/attempt
+    /// accounting a distributed worker needs (did this cell continue
+    /// from a dead peer's orphaned partial checkpoint?) alongside the
+    /// outcome.
+    pub fn run_cell_report<T, F>(&mut self, key: &str, work: F) -> CellReport<T>
+    where
+        T: Serialize + DeserializeOwned + Send + 'static,
+        F: Fn(&CheckpointCell) -> T + Send + Sync + 'static,
+    {
         let report = execute_cell(&self.cfg, &self.zombies, key, Arc::new(work) as WorkFn<T>);
         self.executed += u64::from(report.attempts);
         if report.resumed {
@@ -667,7 +777,7 @@ impl Runner {
         if let Err(e) = &report.outcome {
             self.failures.push((report.key.clone(), e.clone()));
         }
-        report.outcome
+        report
     }
 }
 

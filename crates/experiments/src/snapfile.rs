@@ -124,7 +124,11 @@ pub fn write(path: &Path, state: &Value) -> Result<(), SnapfileError> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let tmp = path.with_extension("psnap.tmp");
+    // Pid-unique temp name: two processes racing to checkpoint the
+    // same cell (e.g. a reaped worker's successor) must not tear each
+    // other's in-flight writes; the final rename is last-writer-wins
+    // over byte-identical content.
+    let tmp = path.with_extension(format!("psnap.tmp{}", std::process::id()));
     {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(&MAGIC)?;
@@ -282,7 +286,9 @@ mod tests {
     fn no_temp_file_survives_a_write() {
         let p = tmp("atomic");
         write(&p, &sample()).unwrap();
-        assert!(!p.with_extension("psnap.tmp").exists());
+        assert!(!p
+            .with_extension(format!("psnap.tmp{}", std::process::id()))
+            .exists());
         let _ = std::fs::remove_file(&p);
     }
 }

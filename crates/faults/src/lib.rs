@@ -42,8 +42,10 @@
 
 mod corrupt;
 mod plan;
+pub mod process;
 mod wrap;
 
 pub use corrupt::{corrupt_uop, CorruptingReader};
 pub use plan::{FaultConfig, FaultPlan};
+pub use process::{ChaosAction, ChaosConfig, ChaosPlan};
 pub use wrap::{FaultyEstimator, FaultyPredictor};

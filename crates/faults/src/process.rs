@@ -1,0 +1,363 @@
+//! Process-level chaos plans for distributed-sweep workers.
+//!
+//! The bit-flip machinery in this crate stresses the *simulated*
+//! machine; a [`ChaosPlan`] stresses the machinery that runs it. A
+//! distributed sweep coordinator samples a seeded plan to decide, per
+//! (worker, claim) coordinate, whether that worker should die, stall
+//! past its lease, or jitter — and the sweep's determinism contract
+//! requires that none of it changes a single output byte.
+//!
+//! Like [`FaultPlan`](crate::FaultPlan), a chaos plan is a pure
+//! function of its configuration: the same [`ChaosConfig`] always
+//! yields the same action at the same (worker, claim) coordinate, so
+//! a chaotic run is exactly reproducible and CI can pin "kill half
+//! the workers mid-sweep" as a deterministic scenario rather than a
+//! flaky one.
+//!
+//! Actions are sampled per *claim index* (the nth cell a worker
+//! claims), not per wall-clock instant, so the schedule survives
+//! arbitrary scheduling jitter. [`ChaosAction::KillMidCell`] is
+//! defined in terms of observable progress — die once the claimed
+//! cell has written its first mid-cell checkpoint — which guarantees
+//! the orphaned partial state the crash-resume path exists to handle.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::fmt;
+
+/// What a chaotic worker does at one claim point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Exit immediately after claiming the cell, before any work: the
+    /// lease is orphaned with no partial checkpoint and must be
+    /// reaped and recomputed from scratch.
+    KillOnClaim,
+    /// Exit as soon as the claimed cell writes its first mid-cell
+    /// checkpoint: the lease is orphaned *with* a partial, and the
+    /// next claimer must resume from it instead of recomputing.
+    KillMidCell,
+    /// Sleep for `ms` milliseconds after claiming, without
+    /// heartbeating, before executing the cell — engineered to
+    /// outlive the lease so the cell is requeued under the stalled
+    /// worker's feet and its eventual completion arrives late.
+    Stall {
+        /// Stall length in milliseconds.
+        ms: u64,
+    },
+    /// Sleep for `ms` milliseconds after claiming (with heartbeats),
+    /// then execute normally: pure scheduling jitter.
+    Delay {
+        /// Delay length in milliseconds.
+        ms: u64,
+    },
+}
+
+impl fmt::Display for ChaosAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosAction::KillOnClaim => write!(f, "kill"),
+            ChaosAction::KillMidCell => write!(f, "kill-mid-cell"),
+            ChaosAction::Stall { ms } => write!(f, "stall:{ms}"),
+            ChaosAction::Delay { ms } => write!(f, "delay:{ms}"),
+        }
+    }
+}
+
+/// Parameters of a seeded chaos campaign. Probabilities are per claim
+/// index, evaluated in a fixed order (kill, kill-mid-cell, stall,
+/// delay); the first that fires wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Campaign seed; the whole schedule is a pure function of it.
+    pub seed: u64,
+    /// Per-claim probability of [`ChaosAction::KillOnClaim`].
+    pub kill: f64,
+    /// Per-claim probability of [`ChaosAction::KillMidCell`].
+    pub kill_mid_cell: f64,
+    /// Per-claim probability of [`ChaosAction::Stall`].
+    pub stall: f64,
+    /// Stall length in milliseconds (should exceed the lease).
+    pub stall_ms: u64,
+    /// Per-claim probability of [`ChaosAction::Delay`].
+    pub delay: f64,
+    /// Delay length in milliseconds.
+    pub delay_ms: u64,
+    /// Claim indices 0..horizon are eligible for chaos; later claims
+    /// run clean, which bounds the damage per worker incarnation.
+    pub horizon: u64,
+    /// Worker incarnations 0..incarnations receive chaos scripts;
+    /// respawned incarnations at or past this run clean, so a chaotic
+    /// sweep always terminates.
+    pub incarnations: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            kill: 0.0,
+            kill_mid_cell: 0.0,
+            stall: 0.0,
+            stall_ms: 2_000,
+            delay: 0.0,
+            delay_ms: 25,
+            horizon: 4,
+            incarnations: 1,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Parses a `key=value,...` spec, e.g.
+    /// `kill-mid-cell=1.0,seed=7,stall=0.2,stall-ms=1500`.
+    /// Unknown keys are rejected so typos fail loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec entry `{part}` is not key=value"))?;
+            let fnum = || -> Result<f64, String> {
+                value
+                    .parse::<f64>()
+                    .map_err(|e| format!("chaos spec `{key}`: {e}"))
+            };
+            let unum = || -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|e| format!("chaos spec `{key}`: {e}"))
+            };
+            match key {
+                "seed" => cfg.seed = unum()?,
+                "kill" => cfg.kill = fnum()?,
+                "kill-mid-cell" => cfg.kill_mid_cell = fnum()?,
+                "stall" => cfg.stall = fnum()?,
+                "stall-ms" => cfg.stall_ms = unum()?,
+                "delay" => cfg.delay = fnum()?,
+                "delay-ms" => cfg.delay_ms = unum()?,
+                "horizon" => cfg.horizon = unum()?,
+                "incarnations" => {
+                    cfg.incarnations = u32::try_from(unum()?)
+                        .map_err(|_| "chaos spec `incarnations`: too large".to_owned())?;
+                }
+                other => return Err(format!("unknown chaos spec key `{other}`")),
+            }
+        }
+        for (name, p) in [
+            ("kill", cfg.kill),
+            ("kill-mid-cell", cfg.kill_mid_cell),
+            ("stall", cfg.stall),
+            ("delay", cfg.delay),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("chaos spec `{name}` must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// A deterministic schedule of worker-process faults.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    cfg: ChaosConfig,
+}
+
+impl ChaosPlan {
+    /// Builds the plan for a campaign configuration.
+    #[must_use]
+    pub fn new(cfg: ChaosConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// The action (if any) at one (worker, claim) coordinate — a pure
+    /// function of the seed and the coordinates, like
+    /// `faults::cell_seed` on the cell side.
+    #[must_use]
+    pub fn action(&self, worker: u64, claim: u64) -> Option<ChaosAction> {
+        if claim >= self.cfg.horizon {
+            return None;
+        }
+        let mix = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(worker.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(claim.wrapping_mul(0x100_0000_01B3))
+            | 1;
+        let mut rng = SmallRng::seed_from_u64(mix);
+        // Fixed draw order keeps the schedule stable when one
+        // probability changes.
+        let draws = [
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+        ];
+        if draws[0] < self.cfg.kill {
+            Some(ChaosAction::KillOnClaim)
+        } else if draws[1] < self.cfg.kill_mid_cell {
+            Some(ChaosAction::KillMidCell)
+        } else if draws[2] < self.cfg.stall {
+            Some(ChaosAction::Stall {
+                ms: self.cfg.stall_ms,
+            })
+        } else if draws[3] < self.cfg.delay {
+            Some(ChaosAction::Delay {
+                ms: self.cfg.delay_ms,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The full script for one worker incarnation: `(claim, action)`
+    /// pairs over the chaos horizon, empty for incarnations past the
+    /// configured chaotic count.
+    #[must_use]
+    pub fn script(&self, worker: u64, incarnation: u32) -> Vec<(u64, ChaosAction)> {
+        if incarnation >= self.cfg.incarnations {
+            return Vec::new();
+        }
+        // Distinct incarnations of the same ordinal get distinct
+        // coordinates so a respawned chaotic worker does not replay
+        // its predecessor's deaths verbatim.
+        let w = worker.wrapping_add(u64::from(incarnation).wrapping_mul(0x51_7C_C1_B7));
+        (0..self.cfg.horizon)
+            .filter_map(|claim| self.action(w, claim).map(|a| (claim, a)))
+            .collect()
+    }
+}
+
+/// Renders a script as the compact `claim=action;...` form workers
+/// receive on their command line.
+#[must_use]
+pub fn render_script(script: &[(u64, ChaosAction)]) -> String {
+    script
+        .iter()
+        .map(|(claim, action)| format!("{claim}={action}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses the `claim=action;...` form back into a script.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn parse_script(spec: &str) -> Result<Vec<(u64, ChaosAction)>, String> {
+    let mut script = Vec::new();
+    for part in spec.split(';').filter(|p| !p.is_empty()) {
+        let (claim, action) = part
+            .split_once('=')
+            .ok_or_else(|| format!("chaos script entry `{part}` is not claim=action"))?;
+        let claim: u64 = claim
+            .parse()
+            .map_err(|e| format!("chaos script claim `{claim}`: {e}"))?;
+        let action = match action.split_once(':') {
+            None if action == "kill" => ChaosAction::KillOnClaim,
+            None if action == "kill-mid-cell" => ChaosAction::KillMidCell,
+            Some(("stall", ms)) => ChaosAction::Stall {
+                ms: ms
+                    .parse()
+                    .map_err(|e| format!("chaos script stall `{ms}`: {e}"))?,
+            },
+            Some(("delay", ms)) => ChaosAction::Delay {
+                ms: ms
+                    .parse()
+                    .map_err(|e| format!("chaos script delay `{ms}`: {e}"))?,
+            },
+            _ => return Err(format!("unknown chaos script action `{action}`")),
+        };
+        script.push((claim, action));
+    }
+    Ok(script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_coordinate_pure() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            kill: 0.3,
+            kill_mid_cell: 0.3,
+            stall: 0.2,
+            delay: 0.2,
+            horizon: 16,
+            ..ChaosConfig::default()
+        };
+        let a = ChaosPlan::new(cfg);
+        let b = ChaosPlan::new(cfg);
+        for worker in 0..8 {
+            for claim in 0..20 {
+                assert_eq!(a.action(worker, claim), b.action(worker, claim));
+            }
+        }
+        // Different seeds produce different schedules somewhere.
+        let c = ChaosPlan::new(ChaosConfig { seed: 8, ..cfg });
+        assert!((0..8).any(|w| (0..16).any(|i| a.action(w, i) != c.action(w, i))));
+    }
+
+    #[test]
+    fn horizon_bounds_chaos_and_certainty_fires() {
+        let plan = ChaosPlan::new(ChaosConfig {
+            kill_mid_cell: 1.0,
+            horizon: 2,
+            ..ChaosConfig::default()
+        });
+        assert_eq!(plan.action(0, 0), Some(ChaosAction::KillMidCell));
+        assert_eq!(plan.action(0, 1), Some(ChaosAction::KillMidCell));
+        assert_eq!(plan.action(0, 2), None, "past the horizon runs clean");
+    }
+
+    #[test]
+    fn incarnations_past_the_chaotic_count_run_clean() {
+        let plan = ChaosPlan::new(ChaosConfig {
+            kill: 1.0,
+            incarnations: 1,
+            ..ChaosConfig::default()
+        });
+        assert!(!plan.script(3, 0).is_empty());
+        assert!(plan.script(3, 1).is_empty(), "respawn must run clean");
+    }
+
+    #[test]
+    fn script_round_trips_through_the_cli_form() {
+        let script = vec![
+            (0, ChaosAction::KillMidCell),
+            (1, ChaosAction::Stall { ms: 1500 }),
+            (3, ChaosAction::Delay { ms: 20 }),
+            (4, ChaosAction::KillOnClaim),
+        ];
+        let text = render_script(&script);
+        assert_eq!(text, "0=kill-mid-cell;1=stall:1500;3=delay:20;4=kill");
+        assert_eq!(parse_script(&text).unwrap(), script);
+        assert_eq!(parse_script("").unwrap(), Vec::new());
+        assert!(parse_script("0=explode").is_err());
+        assert!(parse_script("x=kill").is_err());
+    }
+
+    #[test]
+    fn config_parses_and_rejects_unknown_keys() {
+        let cfg = ChaosConfig::parse("kill-mid-cell=1.0,seed=9,stall-ms=1500,horizon=3").unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert!((cfg.kill_mid_cell - 1.0).abs() < f64::EPSILON);
+        assert_eq!(cfg.stall_ms, 1500);
+        assert_eq!(cfg.horizon, 3);
+        assert!(ChaosConfig::parse("frobnicate=1").is_err());
+        assert!(ChaosConfig::parse("kill=1.5").is_err());
+        assert!(ChaosConfig::parse("kill").is_err());
+    }
+}

@@ -281,13 +281,22 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Re-decode UTF-8: step back and take the full char.
+                    // Step back and copy the longest run of plain bytes
+                    // in one append. Validating only this run (rather
+                    // than the whole remaining input per character)
+                    // keeps parsing linear in the document size.
                     self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -458,5 +467,20 @@ mod tests {
     #[test]
     fn nan_serialises_as_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // Regression: string parsing used to re-validate the entire
+        // remaining input per character, making multi-megabyte
+        // documents effectively unparseable. A few hundred KB of keys
+        // and string values must round-trip promptly.
+        let rows: Vec<(String, String)> = (0..4000)
+            .map(|i| (format!("key-{i:06}"), format!("value-\u{263a}-{i:06}")))
+            .collect();
+        let s = to_string(&rows).unwrap();
+        assert!(s.len() > 200_000);
+        let back: Vec<(String, String)> = from_str(&s).unwrap();
+        assert_eq!(back, rows);
     }
 }
