@@ -11,6 +11,11 @@
 //! repro sweep --queue <dir> [--workers <n>] [--grid full|small]
 //!             [--lease-secs <s>] [--chaos <spec>] [--cell-timeout <s>]
 //! repro faults --gc --resume <dir>
+//! repro serve [--state <dir>] [--addr <ip:port>] [--queue <n>]
+//!             [--restarts <n>] [--watchdog <s>]
+//! repro submit [--state <dir> | --addr <ip:port>] --seed <u64>
+//!              [--full | --tiny] [--grid full|small] [--json <dir>]
+//!              [--chaos kill]
 //!
 //! experiments: table2 table3 table4 table5 table6
 //!              fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults
@@ -78,6 +83,13 @@
 //! leftover atomic-write temp files) without running anything; clean
 //! sweep completions run the same collection automatically.
 //!
+//! `serve` / `submit` delegate to the sibling `perconf-serve` binary:
+//! a long-running supervised experiment server with a content-
+//! addressed result cache (repeat submissions re-simulate nothing)
+//! and actor-per-experiment fault tolerance. A waited `submit --json`
+//! writes byte-identical output to the equivalent one-shot
+//! `repro faults` run. See `perconf-serve --help`.
+//!
 //! Exit codes (see `perconf_experiments::exit`): 0 success, 1
 //! unclassified error, 2 usage error, 3 success after degrading
 //! corrupt input to recomputation, 4 failed sweep cells, 5 failed
@@ -123,13 +135,7 @@ impl RunFailure {
     fn exit_code(&self) -> u8 {
         match self {
             RunFailure::Usage(_) => exit::USAGE,
-            RunFailure::FailedCells { kinds, .. } => {
-                if !kinds.is_empty() && kinds.iter().all(|k| k == "timeout") {
-                    exit::WATCHDOG
-                } else {
-                    exit::FAILED_CELLS
-                }
-            }
+            RunFailure::FailedCells { kinds, .. } => exit::classify_failed_kinds(kinds),
             RunFailure::Other(_) => exit::FAILURE,
         }
     }
@@ -237,8 +243,9 @@ struct Args {
     workers: usize,
     /// Grid selector for `faults`/`sweep`: `full` or `small`.
     grid: String,
-    /// Lease duration for `sweep` queue claims.
-    lease_secs: u64,
+    /// Lease duration for `sweep` queue claims. `None` falls back to
+    /// the (env-overridable) `distrib::Timings` default.
+    lease_secs: Option<u64>,
     /// Chaos campaign spec (`key=value,...`) for `sweep`.
     chaos: Option<String>,
     /// Per-attempt cell watchdog for `sweep` (`None` = no watchdog).
@@ -272,7 +279,7 @@ fn parse_args() -> Result<Args, String> {
     let mut queue = None;
     let mut workers = 1;
     let mut grid = "full".to_owned();
-    let mut lease_secs = 30;
+    let mut lease_secs = None;
     let mut chaos = None;
     let mut cell_timeout = None;
     let mut worker_id = None;
@@ -349,14 +356,15 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--lease-secs" => {
-                lease_secs = it
+                let secs: u64 = it
                     .next()
                     .ok_or("--lease-secs needs a value")?
                     .parse()
                     .map_err(|e| format!("--lease-secs: {e}"))?;
-                if lease_secs == 0 {
+                if secs == 0 {
                     return Err("--lease-secs must be at least 1".to_owned());
                 }
+                lease_secs = Some(secs);
             }
             "--chaos" => {
                 chaos = Some(it.next().ok_or("--chaos needs a key=value,... spec")?);
@@ -755,13 +763,18 @@ fn run_one(
                 Some(spec) => Some(ChaosConfig::parse(spec).map_err(RunFailure::Usage)?),
                 None => None,
             };
+            // Flag > environment > default, per the Timings contract.
+            let mut timings = distrib::Timings::from_env();
+            if let Some(secs) = args.lease_secs {
+                timings.lease = Duration::from_secs(secs);
+            }
             let cfg = distrib::SweepConfig {
                 queue_root,
                 workers: args.workers,
                 scale,
                 seed: args.seed,
                 grid: grid_by_name(&args.grid),
-                lease: Duration::from_secs(args.lease_secs),
+                timings,
                 chaos,
                 cell_timeout: args.cell_timeout.map(Duration::from_secs),
             };
@@ -919,7 +932,55 @@ fn finish_obs(args: &Args, counters: &Option<CounterSnapshot>) -> Result<(), Str
     Ok(())
 }
 
+/// `repro serve` / `repro submit` are thin wrappers around the
+/// sibling `perconf-serve` binary: the server lives in its own crate
+/// (which depends on this one), so the delegation is a subprocess,
+/// not a library call. Stdio is inherited and the child's exit code —
+/// the same shared taxonomy — passes straight through.
+fn delegate_serve(cmd: &str, rest: &[String]) -> ExitCode {
+    let sub = if cmd == "serve" { "run" } else { "submit" };
+    let bin = std::env::var_os("PERCONF_SERVE_BIN")
+        .map(PathBuf::from)
+        .or_else(|| {
+            let sibling = std::env::current_exe()
+                .ok()?
+                .parent()?
+                .join("perconf-serve");
+            sibling.exists().then_some(sibling)
+        });
+    let Some(bin) = bin else {
+        eprintln!(
+            "error: cannot find the `perconf-serve` sibling binary next to `repro` \
+             (build it with `cargo build -p perconf-serve`, or point PERCONF_SERVE_BIN at it)"
+        );
+        return ExitCode::from(exit::FAILURE);
+    };
+    match std::process::Command::new(&bin)
+        .arg(sub)
+        .args(rest)
+        .status()
+    {
+        Ok(status) => match status.code() {
+            Some(code) => ExitCode::from(u8::try_from(code).unwrap_or(exit::FAILURE)),
+            None => {
+                eprintln!("error: {} died on a signal", bin.display());
+                ExitCode::from(exit::FAILURE)
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot run {}: {e}", bin.display());
+            ExitCode::from(exit::FAILURE)
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(first) = raw.first() {
+        if first == "serve" || first == "submit" {
+            return delegate_serve(first, &raw[1..]);
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -933,6 +994,8 @@ fn main() -> ExitCode {
                  \x20      repro obs <file.pobs> [--jsonl <file>] [--force]\n\
                  \x20      repro sweep --queue <dir> [--workers <n>] [--grid full|small] [--lease-secs <s>] [--chaos <spec>] [--cell-timeout <s>]\n\
                  \x20      repro faults --gc --resume <dir>\n\
+                 \x20      repro serve [--state <dir>] [--addr <ip:port>] [--queue <n>] [--restarts <n>] [--watchdog <s>]\n\
+                 \x20      repro submit [--state <dir> | --addr <ip:port>] --seed <u64> [--full | --tiny] [--grid full|small] [--json <dir>] [--chaos kill]\n\
                  experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults sweep verify obs all\n\
                  exit codes: 0 ok | 1 error | 2 usage | 3 ok-but-degraded-input | 4 failed cells | 5 all failures were watchdog timeouts"
             );

@@ -12,13 +12,14 @@
 //! every core). Claim outcomes are byte-identical at any job count.
 //!
 //! Exit codes follow the shared taxonomy
-//! (`perconf_experiments::exit`): 0 every check passed, 2 usage
+//! (`perconf_experiments::exitcode`): 0 every check passed, 2 usage
 //! error, 3 all checks passed but corrupt input was degraded to
 //! recomputation, 4 one or more checks failed.
 
 use perconf_experiments::runner::{default_jobs, degraded_count};
 use perconf_experiments::{
-    common, energy, exit, fig89, figs, latency, table2, table3, table4, table5, table6, Scale,
+    common, energy, exitcode as exit, fig89, figs, latency, table2, table3, table4, table5, table6,
+    Scale,
 };
 use std::process::ExitCode;
 

@@ -34,9 +34,11 @@
 //! `report.json` and `workers/` — never in the byte-compared output.
 
 pub mod queue;
+pub mod timings;
 pub mod worker;
 
 pub use queue::{CellDesc, Claim, Manifest, Queue, MANIFEST_VERSION};
+pub use timings::Timings;
 pub use worker::{run_worker, WorkerConfig, CHAOS_EXIT};
 
 use crate::common::Scale;
@@ -66,8 +68,10 @@ pub struct SweepConfig {
     pub seed: u64,
     /// The grid to sweep.
     pub grid: Grid,
-    /// Lease duration: a claimed cell idle this long is requeued.
-    pub lease: Duration,
+    /// Pacing: lease duration, heartbeat cadence, poll intervals and
+    /// the respawn budget (defaults env-overridable via
+    /// `PERCONF_DISTRIB_*`; `--lease-secs` wins over both).
+    pub timings: Timings,
     /// Chaos campaign to script into the spawned workers.
     pub chaos: Option<ChaosConfig>,
     /// Per-attempt watchdog for cell execution.
@@ -116,18 +120,13 @@ pub struct DistribReport {
     pub worker_counters: CounterSnapshot,
 }
 
-/// Rough cap on worker respawns, as a multiple of the fleet size:
-/// enough for every scripted chaos death plus real crashes, small
-/// enough that a systematically crashing cell cannot fork-bomb.
-const RESPAWN_BUDGET_PER_WORKER: u64 = 4;
-
 fn manifest_for(cfg: &SweepConfig) -> Manifest {
     Manifest {
         version: MANIFEST_VERSION,
         seed: cfg.seed,
         scale: cfg.scale,
         grid: cfg.grid.clone(),
-        lease_ms: u64::try_from(cfg.lease.as_millis()).unwrap_or(u64::MAX),
+        lease_ms: u64::try_from(cfg.timings.lease.as_millis()).unwrap_or(u64::MAX),
     }
 }
 
@@ -201,6 +200,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<(FaultTable, DistribReport), Strin
         // the multi-process runs against.
         let wc = WorkerConfig {
             timeout: cfg.cell_timeout,
+            timings: cfg.timings.clone(),
             ..WorkerConfig::new(cfg.queue_root.clone(), "w0i0")
         };
         run_worker(&wc)?;
@@ -216,6 +216,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<(FaultTable, DistribReport), Strin
     if queue.pending() > 0 {
         let wc = WorkerConfig {
             timeout: cfg.cell_timeout,
+            timings: cfg.timings.clone(),
             ..WorkerConfig::new(cfg.queue_root.clone(), "coordinator-drain")
         };
         run_worker(&wc)?;
@@ -280,7 +281,7 @@ fn supervise_fleet(
         return Err("could not start any worker process".to_owned());
     }
 
-    let budget = fleet_size * RESPAWN_BUDGET_PER_WORKER;
+    let budget = fleet_size * cfg.timings.respawn_budget_per_worker;
     while !live.is_empty() {
         let mut still: Vec<(u64, u32, std::process::Child)> = Vec::new();
         for (ordinal, incarnation, mut child) in live.drain(..) {
@@ -318,7 +319,7 @@ fn supervise_fleet(
         }
         live = still;
         if !live.is_empty() {
-            std::thread::sleep(Duration::from_millis(30));
+            std::thread::sleep(cfg.timings.supervise_poll);
         }
     }
     Ok(spawned)

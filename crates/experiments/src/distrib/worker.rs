@@ -33,6 +33,7 @@
 //! deterministically.
 
 use super::queue::{Claim, Queue};
+use super::timings::Timings;
 use crate::faults::{cell_seed, run_cell};
 use crate::runner::{CellReport, Runner, RunnerConfig};
 use perconf_faults::ChaosAction;
@@ -58,9 +59,10 @@ pub struct WorkerConfig {
     pub worker_id: String,
     /// Chaos script: `(claim index, action)` pairs. Empty = run clean.
     pub script: Vec<(u64, ChaosAction)>,
-    /// Sleep between claim attempts while peers hold the remaining
-    /// leases.
-    pub poll: Duration,
+    /// Pacing (claim poll, heartbeat cadence, queue-open retries);
+    /// see [`Timings`]. The lease *duration* comes from the queue
+    /// manifest — the coordinator's choice — never from here.
+    pub timings: Timings,
     /// Per-attempt watchdog for cell execution (`None` waits forever).
     pub timeout: Option<Duration>,
 }
@@ -73,7 +75,7 @@ impl WorkerConfig {
             queue_root,
             worker_id: worker_id.into(),
             script: Vec::new(),
-            poll: Duration::from_millis(50),
+            timings: Timings::from_env(),
             timeout: None,
         }
     }
@@ -161,16 +163,16 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<CounterSnapshot, String> {
     // The coordinator creates the queue before spawning workers, but a
     // manually started worker may race it — retry briefly.
     let mut queue = Queue::open(&cfg.queue_root);
-    for _ in 0..20 {
+    for _ in 0..cfg.timings.open_retries {
         if queue.is_ok() {
             break;
         }
-        thread::sleep(Duration::from_millis(50));
+        thread::sleep(cfg.timings.open_retry_delay);
         queue = Queue::open(&cfg.queue_root);
     }
     let queue = queue?;
     let lease = Duration::from_millis(queue.manifest().lease_ms);
-    let heartbeat_every = (lease / 4).max(Duration::from_millis(5));
+    let heartbeat_every = cfg.timings.heartbeat_interval(lease);
     let manifest = queue.manifest().clone();
 
     let mut counters = Counters::new();
@@ -194,7 +196,8 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<CounterSnapshot, String> {
         resume: true,
         timeout: cfg.timeout,
         retries: 1,
-        backoff: Duration::from_millis(100),
+        backoff: cfg.timings.cell_backoff,
+        ..RunnerConfig::default()
     });
 
     let mut claim_index: u64 = 0;
@@ -208,7 +211,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<CounterSnapshot, String> {
             }
             // Everything left is leased to peers; wait for them to
             // finish or for their leases to expire.
-            thread::sleep(cfg.poll);
+            thread::sleep(cfg.timings.claim_poll);
             continue;
         };
         counters.counter("distrib", "cells_claimed", 1);

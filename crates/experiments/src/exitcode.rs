@@ -1,0 +1,95 @@
+//! Documented exit-code taxonomy shared by the `repro`, `validate`
+//! and `serve` binaries, so scripts and CI can branch on *why* a run
+//! ended:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | unclassified error (I/O, setup) |
+//! | 2 | usage error (bad flag, unknown experiment, bad combination) |
+//! | 3 | success, but corrupt input was discarded and recomputed |
+//! | 4 | sweep finished with terminally failed cells / failed checks |
+//! | 5 | sweep failed and *every* failure was a watchdog timeout |
+//!
+//! Code 3 is the "degraded" contract: corrupt checkpoints, queue
+//! entries, cache entries, or result files never abort a run — they
+//! degrade to recompute ([`note_degraded`](crate::runner::note_degraded)
+//! counts each event) and the binary admits it happened through its
+//! exit status. Codes 4 and 5 distinguish "some cells are genuinely
+//! broken" from "the time budget was too tight" (rerun with a longer
+//! `--cell-timeout`).
+//!
+//! These values are load-bearing: CI scripts, the distributed
+//! coordinator, and the experiment server's `submit` client all branch
+//! on them, so they are pinned by a drift test and must never change.
+
+/// Success.
+pub const OK: u8 = 0;
+/// Unclassified failure.
+pub const FAILURE: u8 = 1;
+/// Command-line usage error.
+pub const USAGE: u8 = 2;
+/// Success after degrading corrupt input to recomputation.
+pub const DEGRADED: u8 = 3;
+/// One or more cells (or validation checks) failed terminally.
+pub const FAILED_CELLS: u8 = 4;
+/// Every terminal failure was a watchdog timeout.
+pub const WATCHDOG: u8 = 5;
+
+/// Classifies a sweep that ended with terminally failed cells: when
+/// every failure class is `timeout` the whole run maps to [`WATCHDOG`]
+/// (the budget was too tight — retry with a longer watchdog), anything
+/// else maps to [`FAILED_CELLS`]. Shared by `repro`, the distributed
+/// coordinator, and the experiment server so the three frontends can
+/// never disagree about what a failed sweep means.
+#[must_use]
+pub fn classify_failed_kinds<S: AsRef<str>>(kinds: &[S]) -> u8 {
+    if !kinds.is_empty() && kinds.iter().all(|k| k.as_ref() == "timeout") {
+        WATCHDOG
+    } else {
+        FAILED_CELLS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_values_never_drift() {
+        // The taxonomy is part of the public contract (CI scripts and
+        // the serve client branch on the raw numbers). If this test
+        // fails you are breaking every consumer — don't renumber, add.
+        assert_eq!(OK, 0);
+        assert_eq!(FAILURE, 1);
+        assert_eq!(USAGE, 2);
+        assert_eq!(DEGRADED, 3);
+        assert_eq!(FAILED_CELLS, 4);
+        assert_eq!(WATCHDOG, 5);
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let all = [OK, FAILURE, USAGE, DEGRADED, FAILED_CELLS, WATCHDOG];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn all_timeout_failures_classify_as_watchdog() {
+        assert_eq!(classify_failed_kinds(&["timeout", "timeout"]), WATCHDOG);
+        assert_eq!(classify_failed_kinds(&["timeout", "panic"]), FAILED_CELLS);
+        assert_eq!(classify_failed_kinds(&["io"]), FAILED_CELLS);
+        // No failures at all is not a watchdog situation.
+        assert_eq!(classify_failed_kinds::<&str>(&[]), FAILED_CELLS);
+    }
+
+    #[test]
+    fn compat_alias_points_at_the_same_module() {
+        // `crate::exit` remains valid spelling for older call sites.
+        assert_eq!(crate::exit::WATCHDOG, WATCHDOG);
+    }
+}

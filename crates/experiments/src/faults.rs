@@ -187,6 +187,35 @@ pub fn cell_key(seed: u64, estimator: &str, bench: &str, rate_idx: usize) -> Str
     format!("faults-s{seed}-{estimator}-{bench}-r{rate_idx}")
 }
 
+/// Content digest of everything that determines one cell's bytes: the
+/// campaign seed, simulation scale, full coordinates, *and the rate
+/// value itself* (via its exact bit pattern, so `1e-4` and a future
+/// `1.0001e-4` can never alias). This is the experiment server's
+/// cache key — two submissions whose cells digest equal are guaranteed
+/// to simulate identically, so the second can legally be served from
+/// the cache of the first. [`cell_key`] stays the human-readable
+/// file/queue name; this digest is the collision-resistant identity.
+#[must_use]
+pub fn cell_content_digest(
+    seed: u64,
+    scale: Scale,
+    estimator: &str,
+    bench: &str,
+    rate_idx: usize,
+    rate: f64,
+) -> u64 {
+    let canon = format!(
+        "faults-cell-v1|seed={seed}|scale={},{},{},{}|est={estimator}|bench={bench}\
+         |ri={rate_idx}|rate_bits={:016x}",
+        scale.warmup_uops,
+        scale.run_uops,
+        scale.warmup_branches,
+        scale.run_branches,
+        rate.to_bits()
+    );
+    perconf_bpred::digest_bytes(canon.as_bytes())
+}
+
 fn estimator_by_name(name: &str) -> Box<dyn perconf_core::FaultableEstimator> {
     match name {
         "perceptron" => Box::new(PerceptronCe::new(PerceptronCeConfig::default())),
@@ -501,6 +530,41 @@ mod tests {
         assert_ne!(a, cell_seed(7, "mcf", "jrs", 1));
         assert_ne!(a, cell_seed(7, "gcc", "perceptron", 1));
         assert_ne!(a, cell_seed(8, "gcc", "jrs", 1));
+    }
+
+    #[test]
+    fn cell_content_digest_separates_every_input_axis() {
+        let base = cell_content_digest(7, Scale::tiny(), "jrs", "gcc", 1, 1e-4);
+        assert_eq!(
+            base,
+            cell_content_digest(7, Scale::tiny(), "jrs", "gcc", 1, 1e-4)
+        );
+        assert_ne!(
+            base,
+            cell_content_digest(8, Scale::tiny(), "jrs", "gcc", 1, 1e-4)
+        );
+        assert_ne!(
+            base,
+            cell_content_digest(7, Scale::full(), "jrs", "gcc", 1, 1e-4)
+        );
+        assert_ne!(
+            base,
+            cell_content_digest(7, Scale::tiny(), "perceptron", "gcc", 1, 1e-4)
+        );
+        assert_ne!(
+            base,
+            cell_content_digest(7, Scale::tiny(), "jrs", "mcf", 1, 1e-4)
+        );
+        assert_ne!(
+            base,
+            cell_content_digest(7, Scale::tiny(), "jrs", "gcc", 2, 1e-4)
+        );
+        // Same index, different rate value: a grid redefinition must
+        // never serve the old grid's cached bytes.
+        assert_ne!(
+            base,
+            cell_content_digest(7, Scale::tiny(), "jrs", "gcc", 1, 2e-4)
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@
 pub mod common;
 pub mod distrib;
 pub mod energy;
+pub mod exitcode;
 pub mod faults;
 pub mod fig89;
 pub mod figs;
@@ -63,36 +64,6 @@ pub mod table6;
 pub mod verify;
 
 pub use common::Scale;
-
-/// Documented exit-code taxonomy shared by the `repro` and `validate`
-/// binaries, so scripts and CI can branch on *why* a run ended:
-///
-/// | code | meaning |
-/// |---|---|
-/// | 0 | success |
-/// | 1 | unclassified error (I/O, setup) |
-/// | 2 | usage error (bad flag, unknown experiment, bad combination) |
-/// | 3 | success, but corrupt input was discarded and recomputed |
-/// | 4 | sweep finished with terminally failed cells / failed checks |
-/// | 5 | sweep failed and *every* failure was a watchdog timeout |
-///
-/// Code 3 is the "degraded" contract: corrupt checkpoints, queue
-/// entries, or result files never abort a run — they degrade to
-/// recompute ([`runner::note_degraded`] counts each event) and the
-/// binary admits it happened through its exit status. Codes 4 and 5
-/// distinguish "some cells are genuinely broken" from "the time
-/// budget was too tight" (rerun with a longer `--cell-timeout`).
-pub mod exit {
-    /// Success.
-    pub const OK: u8 = 0;
-    /// Unclassified failure.
-    pub const FAILURE: u8 = 1;
-    /// Command-line usage error.
-    pub const USAGE: u8 = 2;
-    /// Success after degrading corrupt input to recomputation.
-    pub const DEGRADED: u8 = 3;
-    /// One or more cells (or validation checks) failed terminally.
-    pub const FAILED_CELLS: u8 = 4;
-    /// Every terminal failure was a watchdog timeout.
-    pub const WATCHDOG: u8 = 5;
-}
+/// Compatibility alias: the exit-code taxonomy used to live inline
+/// here as `exit`; it is now the shared [`exitcode`] module.
+pub use exitcode as exit;

@@ -1,0 +1,319 @@
+//! One experiment's execution: cache lookups, cell simulation on the
+//! shared `runner::Scheduler`, and result assembly.
+//!
+//! The actor is a plain function run inside a supervised attempt
+//! thread (see [`crate::supervisor`]); everything stateful it touches
+//! — the content-addressed cache, the per-experiment checkpoint
+//! directory — survives the actor's death, which is what makes the
+//! supervisor's restart-with-resume policy cheap: a restarted actor
+//! finds every finished cell in the cache or on disk and only pays
+//! for what the previous incarnation had not finished.
+
+use crate::api::ExperimentSpec;
+use crate::cache::CellCache;
+use perconf_experiments::faults::{self, FaultCell};
+use perconf_experiments::runner::{
+    CellSpec, RunError, Runner, RunnerConfig, Scheduler, SchedulerConfig,
+};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How to run one experiment.
+#[derive(Debug, Clone)]
+pub struct ActorConfig {
+    /// What to run.
+    pub spec: ExperimentSpec,
+    /// Per-experiment checkpoint directory (final checkpoints,
+    /// failure markers, mid-cell `.part.psnap` partials).
+    pub checkpoint_dir: PathBuf,
+    /// Scheduler worker threads for this experiment's cells.
+    pub jobs: usize,
+    /// Per-cell watchdog; `None` keeps the runner default.
+    pub cell_timeout: Option<Duration>,
+    /// Chaos harness: panic the actor after this many freshly
+    /// computed cells (the supervisor must restart it and the final
+    /// result must be byte-identical to an undisturbed run).
+    pub kill_after: Option<usize>,
+}
+
+/// What one (successful) actor run produced.
+#[derive(Debug, Clone)]
+pub struct ActorOutcome {
+    /// The assembled `FaultTable` as a JSON value.
+    pub table: serde::Value,
+    /// Cells served from the content-addressed cache.
+    pub from_cache: u64,
+    /// Cells simulated by this run.
+    pub computed: u64,
+    /// Cells resumed from a final checkpoint left by an earlier
+    /// incarnation.
+    pub resumed: u64,
+    /// Cells that continued from a mid-cell partial checkpoint.
+    pub resumed_mid_cell: u64,
+    /// Keys of cells that failed terminally, canonical order.
+    pub failed: Vec<String>,
+    /// Failure class per entry of `failed` (`timeout`, `panic`, ...).
+    pub failed_kinds: Vec<String>,
+}
+
+/// One cell's full identity within an experiment.
+struct CellId {
+    key: String,
+    digest: u64,
+    estimator: String,
+    bench: String,
+    rate: f64,
+    cell_seed: u64,
+}
+
+fn enumerate_cells(spec: &ExperimentSpec) -> Result<Vec<CellId>, String> {
+    let (scale, grid) = spec.resolve()?;
+    let mut ids = Vec::with_capacity(grid.cell_count());
+    for est in &grid.estimators {
+        for bench in &grid.benchmarks {
+            for (ri, &rate) in grid.rates.iter().enumerate() {
+                ids.push(CellId {
+                    key: faults::cell_key(spec.seed, est, bench, ri),
+                    digest: faults::cell_content_digest(spec.seed, scale, est, bench, ri, rate),
+                    estimator: est.clone(),
+                    bench: bench.clone(),
+                    rate,
+                    cell_seed: faults::cell_seed(spec.seed, bench, est, ri),
+                });
+            }
+        }
+    }
+    Ok(ids)
+}
+
+fn runner_config(cfg: &ActorConfig) -> RunnerConfig {
+    RunnerConfig {
+        checkpoint_dir: Some(cfg.checkpoint_dir.clone()),
+        resume: true,
+        timeout: cfg.cell_timeout.or(RunnerConfig::default().timeout),
+        // Deterministic key-derived jitter decorrelates retries across
+        // the cells an actor re-runs after a transient fault.
+        jitter: 0.5,
+        ..RunnerConfig::default()
+    }
+}
+
+fn error_kind(e: &RunError) -> String {
+    match e {
+        RunError::Timeout { .. } => "timeout",
+        RunError::Panic { .. } => "panic",
+        RunError::Io { .. } => "io",
+        RunError::Invariant { .. } => "invariant",
+    }
+    .to_owned()
+}
+
+/// Runs one experiment to completion (panicking if a chaos kill is
+/// armed and fires — the supervisor treats that like any crash).
+///
+/// # Errors
+///
+/// Returns a message for an unresolvable spec (unknown scale/grid);
+/// cell-level failures do *not* error — they are reported in the
+/// outcome's `failed` list and the table is assembled around them.
+///
+/// # Panics
+///
+/// Panics when the armed chaos kill fires, and propagates a poisoned
+/// cache mutex (a previous holder panicked mid-update).
+pub fn run_experiment(cfg: &ActorConfig, cache: &Mutex<CellCache>) -> Result<ActorOutcome, String> {
+    let (_, grid) = cfg.spec.resolve()?;
+    let seed = cfg.spec.seed;
+    let ids = enumerate_cells(&cfg.spec)?;
+    let mut cells: Vec<Option<FaultCell>> = ids.iter().map(|_| None).collect();
+    let mut from_cache = 0u64;
+
+    // Phase 1: serve whatever the content-addressed cache already has.
+    {
+        let mut c = cache.lock().expect("cache mutex poisoned");
+        for (i, id) in ids.iter().enumerate() {
+            if let Some(v) = c.get(id.digest) {
+                match serde_json::from_value::<FaultCell>(&v) {
+                    Ok(cell) => {
+                        cells[i] = Some(cell);
+                        from_cache += 1;
+                    }
+                    Err(e) => {
+                        // Checksum-valid but shape-incompatible (e.g.
+                        // written by an older build): recompute and
+                        // overwrite below.
+                        eprintln!(
+                            "warning: cache entry {:016x} has stale shape ({e}); recomputing",
+                            id.digest
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let missing: Vec<usize> = (0..ids.len()).filter(|&i| cells[i].is_none()).collect();
+
+    // Phase 2 (chaos): compute a prefix, publish it, then die. The
+    // restarted incarnation finds the prefix in the cache and the
+    // assembled table comes out byte-identical.
+    if let Some(k) = cfg.kill_after {
+        if k > 0 && missing.len() > k {
+            let prefix = &missing[..k];
+            let report = compute_cells(cfg, &ids, prefix);
+            store_results(&ids, prefix, report, cache, &mut cells);
+            panic!("chaos: scripted actor kill after {k} computed cell(s)");
+        }
+    }
+    let mut computed = 0u64;
+    let mut resumed = 0u64;
+    let mut resumed_mid_cell = 0u64;
+    let mut failed: Vec<String> = Vec::new();
+    let mut failed_kinds: Vec<String> = Vec::new();
+
+    // Phase 3: simulate what the cache could not serve.
+    if !missing.is_empty() {
+        let report = compute_cells(cfg, &ids, &missing);
+        for (slot, cell_report) in missing.iter().zip(report.cells.iter()) {
+            if cell_report.resumed {
+                resumed += 1;
+            } else if cell_report.attempts > 0 {
+                computed += 1;
+            }
+            if cell_report.resumed_mid_cell {
+                resumed_mid_cell += 1;
+            }
+            if let Err(e) = &cell_report.outcome {
+                failed.push(ids[*slot].key.clone());
+                failed_kinds.push(error_kind(e));
+            }
+        }
+        store_results(&ids, &missing, report, cache, &mut cells);
+    }
+
+    let done: Vec<FaultCell> = cells.into_iter().flatten().collect();
+    let table = faults::table_from_cells(seed, &grid, done, failed.clone());
+    let table = serde_json::to_value(&table).map_err(|e| e.to_string())?;
+    Ok(ActorOutcome {
+        table,
+        from_cache,
+        computed,
+        resumed,
+        resumed_mid_cell,
+        failed,
+        failed_kinds,
+    })
+}
+
+/// Assembles the best table possible *without running anything*: cache
+/// entries plus final checkpoints from dead incarnations; cells with
+/// neither are reported failed. This is the supervisor's last resort
+/// when the restart budget is exhausted — degraded, never dropped.
+///
+/// # Errors
+///
+/// Returns a message only for an unresolvable spec.
+///
+/// # Panics
+///
+/// Propagates a poisoned cache mutex.
+pub fn assemble_partial(
+    cfg: &ActorConfig,
+    cache: &Mutex<CellCache>,
+) -> Result<ActorOutcome, String> {
+    let (_, grid) = cfg.spec.resolve()?;
+    let ids = enumerate_cells(&cfg.spec)?;
+    // A runner is the authority on checkpoint file naming.
+    let paths = Runner::new(runner_config(cfg));
+    let mut cells: Vec<FaultCell> = Vec::new();
+    let mut from_cache = 0u64;
+    let mut resumed = 0u64;
+    let mut failed = Vec::new();
+    let mut failed_kinds = Vec::new();
+    let mut c = cache.lock().expect("cache mutex poisoned");
+    for id in &ids {
+        if let Some(cell) = c
+            .get(id.digest)
+            .and_then(|v| serde_json::from_value::<FaultCell>(&v).ok())
+        {
+            cells.push(cell);
+            from_cache += 1;
+            continue;
+        }
+        let from_checkpoint = paths
+            .checkpoint_path(&id.key)
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|text| serde_json::from_str::<FaultCell>(&text).ok());
+        if let Some(cell) = from_checkpoint {
+            c.put(
+                id.digest,
+                &serde_json::to_value(&cell).unwrap_or(serde::Value::Null),
+            );
+            cells.push(cell);
+            resumed += 1;
+        } else {
+            failed.push(id.key.clone());
+            failed_kinds.push("abandoned".to_owned());
+        }
+    }
+    drop(c);
+    let table = faults::table_from_cells(cfg.spec.seed, &grid, cells, failed.clone());
+    let table = serde_json::to_value(&table).map_err(|e| e.to_string())?;
+    Ok(ActorOutcome {
+        table,
+        from_cache,
+        computed: 0,
+        resumed,
+        resumed_mid_cell: 0,
+        failed,
+        failed_kinds,
+    })
+}
+
+fn compute_cells(
+    cfg: &ActorConfig,
+    ids: &[CellId],
+    idxs: &[usize],
+) -> perconf_experiments::runner::SweepReport<FaultCell> {
+    let (scale, _) = cfg
+        .spec
+        .resolve()
+        .expect("spec validated before compute_cells");
+    let specs: Vec<CellSpec<FaultCell>> = idxs
+        .iter()
+        .map(|&i| {
+            let id = &ids[i];
+            let (bench, est) = (id.bench.clone(), id.estimator.clone());
+            let (rate, cs) = (id.rate, id.cell_seed);
+            CellSpec::new(id.key.clone(), move |chk| {
+                faults::run_cell(&bench, &est, rate, cs, scale, chk)
+            })
+        })
+        .collect();
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        runner: runner_config(cfg),
+        jobs: cfg.jobs,
+    });
+    scheduler.run_cells(specs)
+}
+
+/// Publishes a compute report's successful cells into the cache and
+/// the caller's slot table.
+fn store_results(
+    ids: &[CellId],
+    idxs: &[usize],
+    report: perconf_experiments::runner::SweepReport<FaultCell>,
+    cache: &Mutex<CellCache>,
+    cells: &mut [Option<FaultCell>],
+) {
+    let mut c = cache.lock().expect("cache mutex poisoned");
+    for (slot, cell_report) in idxs.iter().zip(report.cells) {
+        if let Ok(cell) = cell_report.outcome {
+            if let Ok(v) = serde_json::to_value(&cell) {
+                c.put(ids[*slot].digest, &v);
+            }
+            cells[*slot] = Some(cell);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Long-running supervised experiment server.
+//!
+//! One-shot `repro` invocations pay full simulation cost for every
+//! crash, timeout, or repeated submission. This crate keeps the
+//! sweep machinery resident: a TCP line-protocol front end
+//! ([`protocol`], newline-delimited JSON) accepts experiment
+//! submissions ([`api::ExperimentSpec`]), a [`supervisor`] owns one
+//! actor per accepted experiment, and each [`actor`] runs its cells on
+//! the existing `runner::Scheduler` wrapped in the full robustness
+//! stack:
+//!
+//! - panic isolation (`catch_unwind` around every actor attempt, on
+//!   top of the runner's own per-cell isolation);
+//! - a per-experiment watchdog timeout on each attempt;
+//! - bounded retries with exponential backoff and deterministic
+//!   key-derived jitter (the runner's `RunnerConfig::jitter`);
+//! - a restart policy: a dead or hung actor is restarted with
+//!   `--resume` semantics (final checkpoints and mid-cell
+//!   `.part.psnap` partials are picked up) up to a budget, after
+//!   which the experiment is marked *degraded* with whatever cells
+//!   completed — never silently dropped.
+//!
+//! Results are memoised in a content-addressed [`cache`]: every cell
+//! is keyed by `faults::cell_content_digest` (config digest, seed,
+//! grid cell), stored as a checksummed `.psnap` entry, and served to
+//! repeat submissions without re-simulation. A checksum failure is a
+//! *miss* — corruption degrades to recompute, never to a wrong or
+//! missing result. The cache is LRU-bounded in memory and on disk,
+//! with disk rehydration for entries evicted from memory.
+//!
+//! Under load the server sheds: the submission queue is bounded and
+//! overflow gets an explicit 429-style `Busy` rejection. On SIGTERM
+//! (or a protocol `Shutdown`) the server drains accepted work, leaves
+//! pending markers and partials on disk for any experiment it could
+//! not finish, and a restarted server resumes them.
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod api;
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod supervisor;
