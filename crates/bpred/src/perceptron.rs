@@ -90,7 +90,17 @@ impl PerceptronPredictor {
     }
 
     fn row(&self, pc: u64) -> usize {
-        ((pc >> 2) % u64::from(self.entries)) as usize * (self.hist_len + 1) as usize
+        // Every stock table size is a power of two, where the modulo
+        // reduces to a mask — `%` by a non-constant is a hardware
+        // divide on the hot lookup path. Non-power-of-two sizes keep
+        // the exact modulo semantics.
+        let e = u64::from(self.entries);
+        let r = if e.is_power_of_two() {
+            (pc >> 2) & (e - 1)
+        } else {
+            (pc >> 2) % e
+        };
+        r as usize * (self.hist_len + 1) as usize
     }
 
     /// The raw multi-valued perceptron output `y` for this lookup.

@@ -164,7 +164,16 @@ impl PerceptronCe {
     }
 
     fn row(&self, pc: u64) -> usize {
-        ((pc >> 2) % u64::from(self.cfg.entries)) as usize * (self.cfg.hist_len + 1) as usize
+        // Power-of-two table sizes (every stock config) index with a
+        // mask instead of a hardware divide; other sizes keep the
+        // exact modulo semantics.
+        let e = u64::from(self.cfg.entries);
+        let r = if e.is_power_of_two() {
+            (pc >> 2) & (e - 1)
+        } else {
+            (pc >> 2) % e
+        };
+        r as usize * (self.cfg.hist_len + 1) as usize
     }
 
     /// The raw multi-valued output `y` for this lookup — the quantity

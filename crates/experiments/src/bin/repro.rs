@@ -3,8 +3,8 @@
 //! ```text
 //! repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>]
 //!                    [--resume <dir>] [--seed <u64>] [--jobs <n>]
-//!                    [--timing <file>] [--profile] [--metrics-out <file>]
-//!                    [--trace-out <file>] [--force]
+//!                    [--batch <n>] [--timing <file>] [--profile]
+//!                    [--metrics-out <file>] [--trace-out <file>] [--force]
 //! repro verify [--bench <name>] [--full | --tiny]
 //!              [--trace <file> [--tolerant]]
 //! repro obs <file.pobs> [--jsonl <file>] [--force]
@@ -32,7 +32,10 @@
 //! pipeline runs inside the table experiments) across `n` worker
 //! threads; `--jobs 0` means every available core, and the default is
 //! every core. Results are byte-identical at any job count — only
-//! wall-clock time changes. `--timing <file>` writes the per-cell
+//! wall-clock time changes. `--batch <n>` additionally interleaves up
+//! to `n` of the fault sweep's simulations through one cycle loop
+//! (`BatchSim`); like `--jobs` it is purely a throughput knob — output
+//! stays byte-identical for every width, including under `--resume`. `--timing <file>` writes the per-cell
 //! wall-time/retry report of the `faults` sweep as JSON (wall time is
 //! inherently nondeterministic, which is why it lives in its own file
 //! rather than in the diffable result output).
@@ -243,6 +246,8 @@ struct Args {
     workers: usize,
     /// Grid selector for `faults`/`sweep`: `full` or `small`.
     grid: String,
+    /// Pipeline-leg batch width for `faults` (1 = unbatched).
+    batch: usize,
     /// Lease duration for `sweep` queue claims. `None` falls back to
     /// the (env-overridable) `distrib::Timings` default.
     lease_secs: Option<u64>,
@@ -267,6 +272,7 @@ fn parse_args() -> Result<Args, String> {
     let mut resume_dir = None;
     let mut seed = 42;
     let mut jobs = default_jobs();
+    let mut batch = 1usize;
     let mut timing = None;
     let mut bench = "gcc".to_owned();
     let mut trace = None;
@@ -318,6 +324,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--timing" => {
                 timing = Some(PathBuf::from(it.next().ok_or("--timing needs a file")?));
+            }
+            "--batch" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--batch needs a width")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                batch = n.max(1);
             }
             "--bench" => {
                 bench = it.next().ok_or("--bench needs a benchmark name")?;
@@ -417,6 +431,7 @@ fn parse_args() -> Result<Args, String> {
         queue,
         workers,
         grid,
+        batch,
         lease_secs,
         chaos,
         cell_timeout,
@@ -708,8 +723,17 @@ fn run_one(
                 runner: runner_cfg,
                 jobs: args.jobs,
             });
-            let (t, timings) =
-                faults::run_grid(scale, args.seed, &grid_by_name(&args.grid), &mut scheduler);
+            // Width 1 runs the identical engine one cell per group;
+            // any width produces byte-identical output (pinned by the
+            // batch determinism suite), so batching is purely a
+            // throughput knob.
+            let (t, timings) = faults::run_grid_batched(
+                scale,
+                args.seed,
+                &grid_by_name(&args.grid),
+                &mut scheduler,
+                args.batch,
+            );
             println!("{}", t.render());
             println!(
                 "faults degrade metrics monotonically: {}",
@@ -988,7 +1012,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>] [--jobs <n>] [--timing <file>]\n\
+                "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>] [--jobs <n>] [--batch <n>] [--timing <file>]\n\
                  \x20            [--grid full|small] [--profile] [--metrics-out <file>] [--trace-out <file>] [--force]\n\
                  \x20      repro verify [--bench <name>] [--full | --tiny] [--trace <file> [--tolerant]]\n\
                  \x20      repro obs <file.pobs> [--jsonl <file>] [--force]\n\

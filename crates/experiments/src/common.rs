@@ -12,7 +12,7 @@ use perconf_core::{
 };
 use perconf_metrics::{ConfusionMatrix, DensityPair};
 use perconf_obs::{Profiler, TraceEvent, Tracer};
-use perconf_pipeline::{Controller, PipelineConfig, SimError, SimStats, Simulation};
+use perconf_pipeline::{BatchSim, Controller, PipelineConfig, SimError, SimStats, Simulation};
 use perconf_workload::{spec2000, WorkloadConfig, WorkloadGenerator};
 use serde::{Deserialize, Serialize, Value};
 
@@ -509,6 +509,164 @@ pub fn run_pipeline_checkpointed(
     }
     cell.clear();
     Ok(sim)
+}
+
+/// One member of a batched checkpointed pipeline run: the workload,
+/// its controller factory, and the checkpoint cell that persists its
+/// mid-run state (pass [`CheckpointCell::disabled`] for none).
+pub struct BatchMember<'a> {
+    /// Workload to simulate.
+    pub wl: &'a WorkloadConfig,
+    /// Controller factory — called once up front and again if a bad
+    /// checkpoint forces a rebuild (same contract as `mk_ctl` on
+    /// [`run_pipeline_checkpointed`]).
+    pub mk_ctl: Box<dyn Fn() -> Controller + 'a>,
+    /// Per-member mid-run checkpoint store.
+    pub cell: &'a CheckpointCell,
+}
+
+/// Batched [`run_pipeline_checkpointed`]: advances every member
+/// through one interleaved cycle loop ([`BatchSim`]), while each
+/// member's phase transitions, checkpoint boundaries, and stored
+/// checkpoint bytes replicate the sequential function exactly.
+///
+/// # Determinism contract
+///
+/// Member `i`'s final stats, state digest, and every intermediate
+/// checkpoint it stores are byte-identical to
+/// `run_pipeline_checkpointed(members[i].wl, cfg, …, scale,
+/// members[i].cell, interval)` run alone — for every batch width and
+/// member order, with faults injected and counters/tracing enabled.
+/// In particular a batch killed mid-flight leaves per-member `.part`
+/// checkpoints a *sequential* resume can continue from, and vice
+/// versa.
+///
+/// Errors are isolated per member: a member that stalls or breaks an
+/// invariant carries `Err` in its slot while the rest run to
+/// completion.
+pub fn run_pipeline_checkpointed_batch(
+    members: &[BatchMember<'_>],
+    cfg: PipelineConfig,
+    scale: Scale,
+    interval: u64,
+) -> Vec<Result<Simulation, SimError>> {
+    let interval = interval.max(1);
+    let n = members.len();
+    let mut phases = Vec::with_capacity(n);
+    let mut sims = Vec::with_capacity(n);
+    for m in members {
+        let mut sim = Simulation::new(cfg, m.wl, (m.mk_ctl)());
+        sim.set_tracer(tracer_handle());
+        sim.set_profiler(profiler().clone());
+        let mut phase = PHASE_WARMUP;
+        if let Some(saved) = m.cell.load() {
+            let restored = (|| -> Result<u64, String> {
+                let p: u64 = serde::field(&saved, "phase").map_err(|e| e.to_string())?;
+                let state = saved
+                    .get("sim")
+                    .ok_or_else(|| "checkpoint missing `sim`".to_owned())?;
+                sim.restore_state(state).map_err(|e| e.to_string())?;
+                Ok(p)
+            })();
+            match restored {
+                Ok(p) => phase = p,
+                Err(e) => {
+                    eprintln!("warning: discarding unusable mid-run checkpoint: {e}");
+                    sim = Simulation::new(cfg, m.wl, (m.mk_ctl)());
+                    sim.set_tracer(tracer_handle());
+                    sim.set_profiler(profiler().clone());
+                }
+            }
+        }
+        phases.push(phase);
+        sims.push(sim);
+    }
+    let checkpoint = |sim: &Simulation, cell: &CheckpointCell, phase: u64| {
+        if tracer().enabled() {
+            tracer().record(TraceEvent::CheckpointWrite {
+                retired: sim.stats().retired,
+                phase,
+            });
+        }
+        let _s = profiler().scope("phase/checkpoint");
+        cell.store(&Value::Object(vec![
+            ("phase".into(), Value::UInt(phase)),
+            ("sim".into(), sim.save_state()),
+        ]));
+    };
+    let mut batch = BatchSim::new(sims);
+    let mut outcome: Vec<Option<SimError>> = (0..n).map(|_| None).collect();
+    let mut done = vec![false; n];
+    loop {
+        // One interleaved leg: each live member advances by its next
+        // chunk — the same `interval.min(remaining)` the sequential
+        // loop computes — then checkpoints at the same boundary.
+        let mut uops = vec![0u64; n];
+        for i in 0..n {
+            if done[i] || outcome[i].is_some() {
+                continue;
+            }
+            let retired = batch.get(i).stats().retired;
+            let target = if phases[i] == PHASE_WARMUP {
+                scale.warmup_uops
+            } else {
+                scale.run_uops
+            };
+            uops[i] = interval.min(target.saturating_sub(retired));
+        }
+        let mut progressed = false;
+        let results = {
+            let _s = profiler().scope("phase/batch_run");
+            batch.try_run_each(&uops)
+        };
+        for i in 0..n {
+            if done[i] || outcome[i].is_some() {
+                continue;
+            }
+            if let Err(e) = &results[i] {
+                outcome[i] = Some(*e);
+                continue;
+            }
+            progressed = true;
+            let m = &members[i];
+            if phases[i] == PHASE_WARMUP {
+                // A zero-size leg (member restored at or past its
+                // warmup target) stores nothing — the sequential loop
+                // never runs a zero chunk — but still owes the phase
+                // transition below.
+                if uops[i] > 0 {
+                    checkpoint(batch.get(i), m.cell, PHASE_WARMUP);
+                }
+                if batch.get(i).stats().retired >= scale.warmup_uops {
+                    // Ends the warmup phase: resets stats.
+                    if let Err(e) = batch.get_mut(i).try_warmup(0) {
+                        outcome[i] = Some(e);
+                        continue;
+                    }
+                    checkpoint(batch.get(i), m.cell, PHASE_RUN);
+                    phases[i] = PHASE_RUN;
+                }
+            } else if batch.get(i).stats().retired < scale.run_uops {
+                checkpoint(batch.get(i), m.cell, PHASE_RUN);
+            } else {
+                m.cell.clear();
+                done[i] = true;
+            }
+        }
+        if (0..n).all(|i| done[i] || outcome[i].is_some()) {
+            break;
+        }
+        assert!(progressed, "batched run loop made no progress");
+    }
+    batch
+        .into_sims()
+        .into_iter()
+        .zip(outcome)
+        .map(|(sim, err)| match err {
+            None => Ok(sim),
+            Some(e) => Err(e),
+        })
+        .collect()
 }
 
 /// Derives the paper's `U`/`P` metrics from a baseline and a variant

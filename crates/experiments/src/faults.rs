@@ -30,8 +30,10 @@
 //! randomness derives from [`cell_seed`] — a pure function of the
 //! campaign seed and the cell coordinates, never of scheduling order.
 
-use crate::common::{run_pipeline_checkpointed, trace_eval, Scale};
-use crate::runner::{CellSpec, CellTiming, CheckpointCell, Scheduler};
+use crate::common::{
+    run_pipeline_checkpointed, run_pipeline_checkpointed_batch, trace_eval, BatchMember, Scale,
+};
+use crate::runner::{BatchSpec, CellSpec, CellTiming, CheckpointCell, Scheduler};
 use perconf_bpred::{baseline_bimodal_gshare, SimPredictor};
 use perconf_core::{
     JrsConfig, JrsEstimator, PerceptronCe, PerceptronCeConfig, SimEstimator, SpeculationController,
@@ -314,6 +316,196 @@ pub fn run_cell(
         faults_estimator,
         counters,
     }
+}
+
+/// One sweep-cell coordinate, resolved from the grid: everything
+/// [`run_cell`] needs except the checkpoint cell.
+#[derive(Debug, Clone)]
+struct CellCoord {
+    bench: String,
+    estimator: String,
+    rate: f64,
+    seed: u64,
+}
+
+/// Computes a group of sweep cells with their pipeline legs
+/// interleaved through one batched cycle loop
+/// ([`run_pipeline_checkpointed_batch`]). The trace-level passes stay
+/// sequential per member (they are cheap); only the dominant pipeline
+/// leg batches. Per-member results, checkpoint bytes, and counters
+/// are byte-identical to [`run_cell`] on the same coordinates.
+///
+/// `idxs` selects which members of `coords` to compute (the batch
+/// engine skips members served from final checkpoints); returns one
+/// [`FaultCell`] per requested index, in order.
+fn run_cells_batched(
+    coords: &[CellCoord],
+    idxs: &[usize],
+    cells: &[CheckpointCell],
+    scale: Scale,
+) -> Vec<FaultCell> {
+    // Trace-level legs plus per-member fault configs, sequentially.
+    struct TraceLeg {
+        wl: perconf_workload::WorkloadConfig,
+        cfg_p: FaultConfig,
+        cfg_e: FaultConfig,
+        cm: perconf_metrics::ConfusionMatrix,
+        faults_predictor: u64,
+        faults_estimator: u64,
+    }
+    let legs: Vec<TraceLeg> = idxs
+        .iter()
+        .map(|&i| {
+            let c = &coords[i];
+            let wl = perconf_workload::spec2000_config(&c.bench).expect("known benchmark");
+            let cfg_p = FaultConfig {
+                rate: c.rate,
+                history_rate: c.rate,
+                seed: c.seed ^ 0x11,
+            };
+            let cfg_e = FaultConfig::state_only(c.rate, c.seed ^ 0x22);
+            let mut p = FaultyPredictor::new(baseline_bimodal_gshare(), &cfg_p);
+            let mut e = FaultyEstimator::new(estimator_by_name(&c.estimator), &cfg_e);
+            let (cm, _) = trace_eval(
+                &wl,
+                &mut p,
+                &mut e,
+                scale.warmup_branches,
+                scale.run_branches,
+                None,
+            );
+            let (faults_predictor, faults_estimator) = (p.injected(), e.injected());
+            TraceLeg {
+                wl,
+                cfg_p,
+                cfg_e,
+                cm,
+                faults_predictor,
+                faults_estimator,
+            }
+        })
+        .collect();
+    // The batched pipeline leg: same controller factory, pipeline
+    // config, and 50k-uop checkpoint interval as `run_cell`.
+    let members: Vec<BatchMember<'_>> = idxs
+        .iter()
+        .zip(&legs)
+        .map(|(&i, leg)| {
+            let c = &coords[i];
+            let (cfg_p, cfg_e, est) = (leg.cfg_p, leg.cfg_e, c.estimator.clone());
+            BatchMember {
+                wl: &leg.wl,
+                mk_ctl: Box::new(move || {
+                    SpeculationController::new(
+                        Box::new(FaultyPredictor::new(baseline_bimodal_gshare(), &cfg_p))
+                            as Box<dyn SimPredictor>,
+                        Box::new(FaultyEstimator::new(estimator_by_name(&est), &cfg_e))
+                            as Box<dyn SimEstimator>,
+                    )
+                }),
+                cell: &cells[i],
+            }
+        })
+        .collect();
+    let sims =
+        run_pipeline_checkpointed_batch(&members, PipelineConfig::deep().gated(1), scale, 50_000);
+    drop(members);
+    idxs.iter()
+        .zip(legs)
+        .zip(sims)
+        .map(|((&i, leg), sim)| {
+            let c = &coords[i];
+            let sim = match sim {
+                Ok(sim) => sim,
+                // A SimError is an invariant failure; surface it as
+                // the panic the runner's catch_unwind already turns
+                // into a typed error (same contract as `run_cell`).
+                Err(e) => panic!("{e}"),
+            };
+            FaultCell {
+                benchmark: c.bench.clone(),
+                estimator: c.estimator.clone(),
+                rate: c.rate,
+                pvn: leg.cm.pvn() * 100.0,
+                spec: leg.cm.spec() * 100.0,
+                miss_rate: leg.cm.misprediction_rate() * 100.0,
+                ipc: sim.stats().ipc(),
+                faults_predictor: leg.faults_predictor,
+                faults_estimator: leg.faults_estimator,
+                counters: sim.counters(),
+            }
+        })
+        .collect()
+}
+
+/// Builds the sweep's batch groups: the canonical grid order chunked
+/// into groups of `width` cells whose pipeline legs run interleaved.
+/// `width = 1` degenerates to one group per cell — the exact
+/// [`cell_specs`] work, through the same engine.
+///
+/// Grouping never changes output: member keys, seeds, checkpoint
+/// artifacts, and results are all per cell, and the merged report
+/// flattens back into canonical grid order whatever the width.
+#[must_use]
+pub fn batch_specs(
+    scale: Scale,
+    seed: u64,
+    grid: &Grid,
+    width: usize,
+) -> Vec<BatchSpec<FaultCell>> {
+    let width = width.max(1);
+    let mut coords = Vec::with_capacity(grid.cell_count());
+    let mut keys = Vec::with_capacity(grid.cell_count());
+    for est in &grid.estimators {
+        for bench in &grid.benchmarks {
+            for (ri, &rate) in grid.rates.iter().enumerate() {
+                keys.push(cell_key(seed, est, bench, ri));
+                coords.push(CellCoord {
+                    bench: bench.clone(),
+                    estimator: est.clone(),
+                    rate,
+                    seed: cell_seed(seed, bench, est, ri),
+                });
+            }
+        }
+    }
+    let mut specs = Vec::new();
+    let mut start = 0;
+    while start < coords.len() {
+        let end = (start + width).min(coords.len());
+        let group: Vec<CellCoord> = coords[start..end].to_vec();
+        let group_keys: Vec<String> = keys[start..end].to_vec();
+        specs.push(BatchSpec::new(group_keys, move |idxs, cells| {
+            run_cells_batched(&group, idxs, cells, scale)
+        }));
+        start = end;
+    }
+    specs
+}
+
+/// [`run_grid`] with the cells' pipeline legs interleaved `width` at a
+/// time through one batched cycle loop per group. Output is
+/// byte-identical to [`run_grid`] for every width — the differential
+/// suite in `tests/batch_determinism.rs` pins this.
+#[must_use]
+pub fn run_grid_batched(
+    scale: Scale,
+    seed: u64,
+    grid: &Grid,
+    scheduler: &mut Scheduler,
+    width: usize,
+) -> (FaultTable, Vec<CellTiming>) {
+    let report = scheduler.run_batches(batch_specs(scale, seed, grid, width));
+    let timings = report.timings();
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    for r in report.cells {
+        match r.outcome {
+            Ok(c) => cells.push(c),
+            Err(_) => failed.push(r.key),
+        }
+    }
+    (table_from_cells(seed, grid, cells, failed), timings)
 }
 
 /// Builds the sweep's cell list in canonical grid order, ready for a

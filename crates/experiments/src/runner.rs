@@ -271,6 +271,11 @@ type Zombies = Arc<Mutex<Vec<thread::JoinHandle<()>>>>;
 /// handle, returns the cell result.
 type WorkFn<T> = Arc<dyn Fn(&CheckpointCell) -> T + Send + Sync>;
 
+/// Work function of a [`BatchSpec`]: receives the indices of the
+/// members that still need computing plus every member's checkpoint
+/// cell, and returns one value per requested index, in order.
+type BatchWorkFn<T> = Arc<dyn Fn(&[usize], &[CheckpointCell]) -> Vec<T> + Send + Sync>;
+
 /// The worker-thread count "use every core" resolves to.
 #[must_use]
 pub fn default_jobs() -> usize {
@@ -382,42 +387,104 @@ fn execute_cell<T>(
 where
     T: Serialize + DeserializeOwned + Send + 'static,
 {
+    // A single cell is exactly a width-1 batch; keeping one engine
+    // means resume/retry/marker semantics cannot drift between the
+    // sequential and batched paths.
+    let spec = BatchSpec {
+        keys: vec![key.to_owned()],
+        work: Arc::new(move |pending: &[usize], cells: &[CheckpointCell]| {
+            debug_assert_eq!(pending, [0]);
+            vec![work(&cells[0])]
+        }),
+    };
+    execute_batch(cfg, zombies, &spec)
+        .pop()
+        .expect("width-1 batch yields exactly one report")
+}
+
+/// Runs one batch group through the shared cell-execution engine:
+/// per-member final-checkpoint resume and failure markers, one
+/// watchdog + retry budget around the grouped work function.
+///
+/// Per-member semantics match [`execute_cell`] exactly (which *is*
+/// the width-1 case): members whose final checkpoint exists resume
+/// without running; stale failure markers clear; a pre-existing
+/// partial checkpoint records `resumed_mid_cell` without counting as
+/// a retry. The remaining members execute together in one attempt
+/// thread — the work function receives their indices plus every
+/// member's [`CheckpointCell`] — under a watchdog scaled by the
+/// pending member count. An attempt failure (panic or timeout) is
+/// charged to every pending member; mid-run checkpoints written
+/// before the failure still bound the rework on retry.
+fn execute_batch<T>(
+    cfg: &RunnerConfig,
+    zombies: &Zombies,
+    spec: &BatchSpec<T>,
+) -> Vec<CellReport<T>>
+where
+    T: Serialize + DeserializeOwned + Send + 'static,
+{
     let start = Instant::now();
     reap_zombie_list(zombies);
-    let cell = match partial_file(cfg, key) {
-        Some(p) => CheckpointCell::at(p),
-        None => CheckpointCell::disabled(),
-    };
-    let mut resumed_mid_cell = false;
-    if cfg.resume {
-        if let Some(v) = load_final_checkpoint(cfg, key) {
-            // The final result exists; any leftover partial state is
-            // stale.
-            cell.clear();
-            return CellReport {
-                key: key.to_owned(),
-                outcome: Ok(v),
-                resumed: true,
-                resumed_mid_cell: false,
-                attempts: 0,
-                wall: start.elapsed(),
-            };
+    let n = spec.keys.len();
+    let cells: Vec<CheckpointCell> = spec
+        .keys
+        .iter()
+        .map(|k| match partial_file(cfg, k) {
+            Some(p) => CheckpointCell::at(p),
+            None => CheckpointCell::disabled(),
+        })
+        .collect();
+    let mut reports: Vec<Option<CellReport<T>>> = (0..n).map(|_| None).collect();
+    let mut resumed_mid = vec![false; n];
+    for i in 0..n {
+        let key = &spec.keys[i];
+        if cfg.resume {
+            if let Some(v) = load_final_checkpoint(cfg, key) {
+                // The final result exists; any leftover partial state
+                // is stale.
+                cells[i].clear();
+                reports[i] = Some(CellReport {
+                    key: key.clone(),
+                    outcome: Ok(v),
+                    resumed: true,
+                    resumed_mid_cell: false,
+                    attempts: 0,
+                    wall: start.elapsed(),
+                });
+                continue;
+            }
+            // A stale failure marker means this cell is being retried.
+            if let Some(p) = failed_file(cfg, key) {
+                let _ = std::fs::remove_file(p);
+            }
+            // Recorded *before* any attempt runs: continuing a killed
+            // cell's mid-run state is a resume, not a retry, and must
+            // not inflate the aggregate retry count.
+            resumed_mid[i] = cells[i].path().is_some_and(Path::exists);
+        } else {
+            // A fresh (non-resume) sweep must not silently continue
+            // from some earlier run's mid-cell state.
+            cells[i].clear();
         }
-        // A stale failure marker means this cell is being retried.
-        if let Some(p) = failed_file(cfg, key) {
-            let _ = std::fs::remove_file(p);
-        }
-        // Recorded *before* any attempt runs: continuing a killed
-        // cell's mid-run state is a resume, not a retry, and must not
-        // inflate the aggregate retry count.
-        resumed_mid_cell = cell.path().is_some_and(Path::exists);
-    } else {
-        // A fresh (non-resume) sweep must not silently continue from
-        // some earlier run's mid-cell state.
-        cell.clear();
     }
-    let work_cell = cell.clone();
-    let thunk: Arc<dyn Fn() -> T + Send + Sync> = Arc::new(move || work(&work_cell));
+    let pending: Vec<usize> = (0..n).filter(|&i| reports[i].is_none()).collect();
+    if pending.is_empty() {
+        return reports
+            .into_iter()
+            .map(|r| r.expect("all members resumed"))
+            .collect();
+    }
+    let thunk: Arc<dyn Fn() -> Vec<T> + Send + Sync> = {
+        let work = Arc::clone(&spec.work);
+        let work_cells = cells.clone();
+        let idxs = pending.clone();
+        Arc::new(move || work(&idxs, &work_cells))
+    };
+    // The watchdog guards the whole grouped attempt, so its budget
+    // scales with how many members actually run.
+    #[allow(clippy::cast_possible_truncation)]
+    let timeout = cfg.timeout.map(|t| t * pending.len().max(1) as u32);
     let mut attempts = 0u32;
     let mut last = RunError::Panic {
         message: "cell never ran".to_owned(),
@@ -428,44 +495,70 @@ where
             if t.enabled() {
                 // Keys are free-form strings; the event carries their
                 // FNV digest so records stay fixed-width.
-                t.record(perconf_obs::TraceEvent::Retry {
-                    key: perconf_bpred::digest_bytes(key.as_bytes()),
-                    attempt: u64::from(attempt),
-                });
+                for &i in &pending {
+                    t.record(perconf_obs::TraceEvent::Retry {
+                        key: perconf_bpred::digest_bytes(spec.keys[i].as_bytes()),
+                        attempt: u64::from(attempt),
+                    });
+                }
             }
-            thread::sleep(retry_backoff(cfg, key, attempt));
+            // Backoff is keyed on the first pending key so reruns of
+            // the same batch wait the same, deterministic time.
+            thread::sleep(retry_backoff(cfg, &spec.keys[pending[0]], attempt));
         }
         attempts += 1;
-        match run_attempt(cfg.timeout, zombies, Arc::clone(&thunk)) {
-            Ok(v) => {
-                if let Err(e) = write_final_checkpoint(cfg, key, &v) {
-                    eprintln!("warning: cell {key}: {e}");
+        match run_attempt(timeout, zombies, Arc::clone(&thunk)) {
+            Ok(values) => {
+                assert_eq!(
+                    values.len(),
+                    pending.len(),
+                    "batch work must yield one value per pending member"
+                );
+                for (&i, v) in pending.iter().zip(values) {
+                    let key = &spec.keys[i];
+                    if let Err(e) = write_final_checkpoint(cfg, key, &v) {
+                        eprintln!("warning: cell {key}: {e}");
+                    }
+                    cells[i].clear();
+                    reports[i] = Some(CellReport {
+                        key: key.clone(),
+                        outcome: Ok(v),
+                        resumed: false,
+                        resumed_mid_cell: resumed_mid[i],
+                        attempts,
+                        wall: start.elapsed(),
+                    });
                 }
-                cell.clear();
-                return CellReport {
-                    key: key.to_owned(),
-                    outcome: Ok(v),
-                    resumed: false,
-                    resumed_mid_cell,
-                    attempts,
-                    wall: start.elapsed(),
-                };
+                return reports
+                    .into_iter()
+                    .map(|r| r.expect("every member reported"))
+                    .collect();
             }
             Err(e) => {
-                eprintln!("warning: cell {key} attempt {attempt}: {e}");
+                eprintln!(
+                    "warning: batch [{}] attempt {attempt}: {e}",
+                    spec.keys[pending[0]]
+                );
                 last = e;
             }
         }
     }
-    write_failure_marker(cfg, key, &last);
-    CellReport {
-        key: key.to_owned(),
-        outcome: Err(last),
-        resumed: false,
-        resumed_mid_cell,
-        attempts,
-        wall: start.elapsed(),
+    for &i in &pending {
+        let key = &spec.keys[i];
+        write_failure_marker(cfg, key, &last);
+        reports[i] = Some(CellReport {
+            key: key.clone(),
+            outcome: Err(last.clone()),
+            resumed: false,
+            resumed_mid_cell: resumed_mid[i],
+            attempts,
+            wall: start.elapsed(),
+        });
     }
+    reports
+        .into_iter()
+        .map(|r| r.expect("every member reported"))
+        .collect()
 }
 
 /// Sleep before retry `attempt` (1-based): exponential base stretched
@@ -842,6 +935,55 @@ impl<T> std::fmt::Debug for CellSpec<T> {
     }
 }
 
+/// An ordered group of sweep cells executed together as one batched
+/// work unit (one attempt thread, one watchdog, shared retry budget),
+/// typically backed by a `BatchSim` interleaving their pipeline legs.
+///
+/// Resume/retry/marker semantics stay per member — see
+/// `execute_batch` — so the on-disk artifacts (final checkpoints,
+/// partials, failure markers) and the merged report are byte-identical
+/// to running the same cells through [`CellSpec`]s individually.
+pub struct BatchSpec<T> {
+    keys: Vec<String>,
+    work: BatchWorkFn<T>,
+}
+
+impl<T> BatchSpec<T> {
+    /// Packages a batch group. `work` is called with the indices (into
+    /// `keys`) of the members that were not served from final
+    /// checkpoints, plus every member's [`CheckpointCell`], and must
+    /// return one value per requested index, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty.
+    #[must_use]
+    pub fn new<F>(keys: Vec<String>, work: F) -> Self
+    where
+        F: Fn(&[usize], &[CheckpointCell]) -> Vec<T> + Send + Sync + 'static,
+    {
+        assert!(!keys.is_empty(), "batch group needs at least one member");
+        Self {
+            keys,
+            work: Arc::new(work),
+        }
+    }
+
+    /// The member cell keys, in member order.
+    #[must_use]
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+}
+
+impl<T> std::fmt::Debug for BatchSpec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSpec")
+            .field("keys", &self.keys)
+            .finish()
+    }
+}
+
 /// Isolation + parallelism policy for a [`Scheduler`].
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -994,6 +1136,49 @@ impl Scheduler {
                     m.into_inner()
                         .expect("result slot lock")
                         .expect("every submitted cell reports exactly once")
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs every batch group and returns the deterministically merged
+    /// report, one [`CellReport`] per member cell, flattened in
+    /// submission order (group by group, member by member). The same
+    /// determinism contract as [`run_cells`](Self::run_cells) applies:
+    /// the merged report is byte-stable across `jobs`, batch widths,
+    /// and mid-sweep kills + resumes, because every on-disk artifact
+    /// and result slot is keyed per member cell, never per group.
+    pub fn run_batches<T>(&mut self, batches: Vec<BatchSpec<T>>) -> SweepReport<T>
+    where
+        T: Serialize + DeserializeOwned + Send + 'static,
+    {
+        let n = batches.len();
+        let workers = self.jobs().clamp(1, n.max(1));
+        let slots: Vec<Mutex<Option<Vec<CellReport<T>>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let cfg = &self.cfg.runner;
+        let (batches_ref, slots_ref, next_ref) = (&batches, &slots, &next);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let zombies = Arc::clone(&self.zombies);
+                s.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let reports = execute_batch(cfg, &zombies, &batches_ref[i]);
+                    *slots_ref[i].lock().expect("result slot lock") = Some(reports);
+                });
+            }
+        });
+        SweepReport {
+            cells: slots
+                .into_iter()
+                .flat_map(|m| {
+                    m.into_inner()
+                        .expect("result slot lock")
+                        .expect("every submitted batch reports exactly once")
                 })
                 .collect(),
         }

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 mod config;
 mod energy;
@@ -59,6 +60,7 @@ mod sim;
 mod smt;
 mod stats;
 
+pub use batch::BatchSim;
 pub use cache::{Cache, CacheConfig, MemHierarchy, MemHierarchyConfig, StreamPrefetcher};
 pub use config::{GatingConfig, PipelineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
