@@ -33,6 +33,8 @@
 //! zero-overhead contract is about.
 
 #![forbid(unsafe_code)]
+// Wall-clock probes are this binary's whole purpose.
+#![allow(clippy::disallowed_methods)]
 
 use perconf_pipeline::{PipelineConfig, Simulation};
 use serde::{Deserialize, Serialize};

@@ -201,7 +201,10 @@ impl Snapshot for PerceptronPredictor {
     fn state_digest(&self) -> u64 {
         let mut d = StateDigest::new();
         d.word(u64::from(self.entries))
-            .word(u64::from(self.hist_len));
+            .word(u64::from(self.hist_len))
+            .signed(i64::from(self.weight_min))
+            .signed(i64::from(self.weight_max))
+            .signed(i64::from(self.theta));
         for &w in &self.weights {
             d.signed(i64::from(w));
         }

@@ -224,7 +224,9 @@ impl Snapshot for PerceptronCe {
     fn state_digest(&self) -> u64 {
         let mut d = StateDigest::new();
         d.word(u64::from(self.cfg.entries))
-            .word(u64::from(self.cfg.hist_len));
+            .word(u64::from(self.cfg.hist_len))
+            .signed(i64::from(self.weight_min))
+            .signed(i64::from(self.weight_max));
         for &w in &self.weights {
             d.signed(i64::from(w));
         }

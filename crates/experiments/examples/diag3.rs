@@ -4,7 +4,7 @@
 //! aliasing.
 
 use perconf_workload::{BehaviorClass, WorkloadGenerator};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     let cfg = perconf_workload::spec2000_config("vpr").unwrap();
@@ -12,12 +12,12 @@ fn main() {
     let classes: Vec<BehaviorClass> = g.program().sites.iter().map(|s| s.spec.class()).collect();
     // Oracle predictor: per (site, hist9) majority vote. Measures the
     // best any 9-bit-history table predictor could do.
-    let mut table: HashMap<(u32, u16), (u32, u32)> = HashMap::new();
+    let mut table: BTreeMap<(u32, u16), (u32, u32)> = BTreeMap::new();
     let mut hist = 0u64;
     let mut branches = 0u64;
     let mut lin_miss = 0u64;
     let mut lin_tot = 0u64;
-    let mut lin_patterns: HashMap<u32, std::collections::HashSet<u16>> = HashMap::new();
+    let mut lin_patterns: BTreeMap<u32, std::collections::BTreeSet<u16>> = BTreeMap::new();
     while branches < 600_000 {
         let u = g.next_uop();
         if let Some(b) = u.branch {

@@ -98,6 +98,8 @@
 //! corrupt input to recomputation, 4 failed sweep cells, 5 failed
 //! cells where every failure was a watchdog timeout.
 
+#![forbid(unsafe_code)]
+
 use perconf_experiments::runner::{
     default_jobs, degraded_count, gc_dir, RunnerConfig, Scheduler, SchedulerConfig,
 };
@@ -1046,6 +1048,8 @@ fn main() -> ExitCode {
     // shared helper pool; the faults sweep parallelizes per cell via
     // its Scheduler. Both honour the same --jobs value.
     common::set_jobs(args.jobs);
+    #[allow(clippy::disallowed_methods)]
+    // lint: allow(nondeterminism-sources) — wall-time banner only, never in results
     let start = std::time::Instant::now();
     let mut counters = None;
     let result = if args.experiment == "all" {

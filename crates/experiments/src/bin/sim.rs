@@ -8,6 +8,8 @@
 //!     --gate 1 --uops 500000 [--reverse 90] [--energy] [--density] [--out DIR]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use perconf_bpred::{baseline_bimodal_gshare, gshare_perceptron, tage_hybrid, SimPredictor};
 use perconf_core::{
     AlwaysHigh, CombineRule, CompositeCe, JrsConfig, JrsEstimator, PerceptronCe,

@@ -16,6 +16,8 @@
 //! error, 3 all checks passed but corrupt input was degraded to
 //! recomputation, 4 one or more checks failed.
 
+#![forbid(unsafe_code)]
+
 use perconf_experiments::runner::{default_jobs, degraded_count};
 use perconf_experiments::{
     common, energy, exitcode as exit, fig89, figs, latency, table2, table3, table4, table5, table6,
@@ -64,6 +66,8 @@ fn main() -> ExitCode {
     }
     common::set_jobs(jobs);
     let mut c = Checker { failures: 0 };
+    #[allow(clippy::disallowed_methods)]
+    // lint: allow(nondeterminism-sources) — wall-time banner only, never in results
     let t0 = std::time::Instant::now();
 
     // Table 2: waste grows with depth and width; mcf worst, in the

@@ -424,6 +424,8 @@ fn execute_batch<T>(
 where
     T: Serialize + DeserializeOwned + Send + 'static,
 {
+    #[allow(clippy::disallowed_methods)]
+    // lint: allow(nondeterminism-sources) — elapsed-time progress logging only
     let start = Instant::now();
     reap_zombie_list(zombies);
     let n = spec.keys.len();

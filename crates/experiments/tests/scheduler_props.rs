@@ -5,6 +5,9 @@
 //! with a terminal status — and no coordinator worker leaks past
 //! `run_cells`.
 
+// Test deadlines: wall-clock never reaches asserted results.
+#![allow(clippy::disallowed_methods)]
+
 use perconf_experiments::runner::{CellSpec, RunError, RunnerConfig, Scheduler, SchedulerConfig};
 use perconf_experiments::{common, faults, Scale};
 use perconf_faults::{FaultConfig, FaultPlan};

@@ -1,0 +1,15 @@
+//! Fixture: `output-atomicity` must stay quiet — the write stages to
+//! a temp sibling and renames into place.
+#![forbid(unsafe_code)]
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub fn save(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("psnap.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)
+}

@@ -1,0 +1,11 @@
+//! Fixture: `output-atomicity` must fire — the artifact is created at
+//! its final path, so a crash mid-write leaves a torn `.psnap`.
+#![forbid(unsafe_code)]
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn save(bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create("results/state.psnap")?;
+    f.write_all(bytes)
+}

@@ -1,0 +1,15 @@
+//! Fixture: `nondeterminism-sources` must stay quiet — ordered
+//! collections, seeded RNG, and an annotated progress-timer read.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub fn run(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    m.insert(rng.gen(), 1);
+    // lint: allow(nondeterminism-sources) — progress display only
+    let t0 = std::time::Instant::now();
+    drop(t0);
+    m.len() as u64
+}

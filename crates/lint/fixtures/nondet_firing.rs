@@ -1,0 +1,16 @@
+//! Fixture: `nondeterminism-sources` must fire on the wall-clock
+//! read, the ambient RNG, the hasher-ordered map, and the
+//! pointer-value cast below.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn run() -> u64 {
+    let t0 = Instant::now();
+    let mut rng = thread_rng();
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(rng.gen(), 1);
+    let p = &m as *const HashMap<u64, u64>;
+    t0.elapsed().as_nanos() as u64 ^ p as u64
+}

@@ -1,0 +1,22 @@
+//! Fixture: `snapshot-completeness` must fire — `theta` is saved and
+//! restored by the serde macro but never folded into the digest, and
+//! `scratch` is covered nowhere.
+#![forbid(unsafe_code)]
+
+pub struct Widget {
+    weights: Vec<i32>,
+    theta: i32,
+    scratch: Vec<u32>,
+}
+
+impl Snapshot for Widget {
+    crate::snapshot_serde_body!();
+
+    fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for &w in &self.weights {
+            d.signed(i64::from(w));
+        }
+        d.finish()
+    }
+}

@@ -1,0 +1,11 @@
+// lint: allow(unsafe-hygiene) — this fixture models a vendored crate
+// root: justified unsafe is permitted instead of the forbid attribute.
+//! Fixture: `unsafe-hygiene` must stay quiet — the root-level check is
+//! allowlisted (vendored style) and the unsafe block carries a
+//! `// SAFETY:` justification, so neither check fires.
+
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `v` is non-empty, so index 0 is
+    // in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

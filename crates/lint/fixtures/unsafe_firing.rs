@@ -1,0 +1,7 @@
+//! Fixture: `unsafe-hygiene` must fire twice — no
+//! `#![forbid(unsafe_code)]` on this (ad-hoc) crate root, and an
+//! `unsafe` block with no `// SAFETY:` justification.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,193 @@
+//! Workspace discovery and rule orchestration.
+
+use crate::diag::Finding;
+use crate::rules::{self, Index};
+use crate::source::{Scope, SourceFile};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which rules to run; `None` means all.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Rule-name filter; unknown names are reported by the CLI before
+    /// this struct is built.
+    pub rules: Option<BTreeSet<String>>,
+}
+
+impl Options {
+    fn enabled(&self, rule: &str) -> bool {
+        self.rules.as_ref().is_none_or(|s| s.contains(rule))
+    }
+}
+
+/// Result of an analysis run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files lexed and checked.
+    pub files_scanned: usize,
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Analyzes the whole workspace rooted at `root`: every `.rs` file
+/// under `crates/*/src` and the top-level `src/`, plus `vendor/*/src`
+/// (for the unsafe-hygiene `SAFETY:` requirement). Tests, examples,
+/// benches and fixtures are deliberately out of scope: the contract
+/// protects result-producing code.
+///
+/// # Errors
+///
+/// Propagates directory walking and file reading failures.
+pub fn analyze_workspace(root: &Path, opts: &Options) -> io::Result<Analysis> {
+    let mut inputs: Vec<(PathBuf, Scope)> = Vec::new();
+    for krate in sorted_subdirs(&root.join("crates"))? {
+        let crate_dir = dir_name(&krate);
+        let src = krate.join("src");
+        if src.is_dir() {
+            for f in rust_files(&src)? {
+                inputs.push((
+                    f,
+                    Scope::Workspace {
+                        crate_dir: crate_dir.clone(),
+                    },
+                ));
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        for f in rust_files(&root_src)? {
+            inputs.push((
+                f,
+                Scope::Workspace {
+                    crate_dir: "root".to_owned(),
+                },
+            ));
+        }
+    }
+    let vendor = root.join("vendor");
+    if vendor.is_dir() {
+        for v in sorted_subdirs(&vendor)? {
+            let crate_dir = dir_name(&v);
+            let src = v.join("src");
+            if src.is_dir() {
+                for f in rust_files(&src)? {
+                    inputs.push((
+                        f,
+                        Scope::Vendor {
+                            crate_dir: crate_dir.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    analyze_inputs(root, &inputs, opts)
+}
+
+/// Analyzes explicitly-listed files in [`Scope::Adhoc`] (every rule
+/// applies, each file counts as its own crate root). Used by the CLI
+/// path mode, the fixture tests, and the mutation test.
+///
+/// # Errors
+///
+/// Propagates file reading failures.
+pub fn analyze_paths(paths: &[PathBuf], opts: &Options) -> io::Result<Analysis> {
+    let inputs: Vec<(PathBuf, Scope)> = paths.iter().map(|p| (p.clone(), Scope::Adhoc)).collect();
+    analyze_inputs(Path::new(""), &inputs, opts)
+}
+
+fn analyze_inputs(
+    root: &Path,
+    inputs: &[(PathBuf, Scope)],
+    opts: &Options,
+) -> io::Result<Analysis> {
+    let mut files = Vec::with_capacity(inputs.len());
+    for (path, scope) in inputs {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::parse(path.clone(), rel, scope.clone(), &text));
+    }
+    let index = Index::build(&files);
+    let mut findings = Vec::new();
+    if opts.enabled(rules::SNAPSHOT_COMPLETENESS) {
+        rules::snapshot_completeness(&files, &index, &mut findings);
+    }
+    for f in &files {
+        if opts.enabled(rules::NONDETERMINISM_SOURCES) {
+            rules::nondeterminism_sources(f, &mut findings);
+        }
+        if opts.enabled(rules::UNSAFE_HYGIENE) {
+            rules::unsafe_hygiene(f, &mut findings);
+        }
+        if opts.enabled(rules::OUTPUT_ATOMICITY) {
+            rules::output_atomicity(f, &mut findings);
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Analysis {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+fn dir_name(p: &Path) -> String {
+    p.file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned())
+}
+
+/// Immediate subdirectories of `dir`, name-sorted for deterministic
+/// reports.
+fn sorted_subdirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `dir`, recursively, path-sorted.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

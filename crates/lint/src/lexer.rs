@@ -1,0 +1,454 @@
+//! A lightweight Rust lexer: comment-, string-, and raw-string-aware
+//! token stream with line/column positions.
+//!
+//! This is deliberately *not* a parser. The analyzer's rules operate
+//! on token patterns (`Ident "File"`, `::`, `Ident "create"`), struct
+//! and impl skeletons recovered by brace matching, and comment
+//! annotations — all of which survive any amount of surrounding
+//! syntax this lexer does not understand. What the lexer *must* get
+//! exactly right is what ends up inside strings and comments, so a
+//! `"HashMap"` in a diagnostic message or a `// thread_rng` in prose
+//! never reads as code. Handled: line comments, nested block
+//! comments, string/char/byte literals with escapes, raw and raw-byte
+//! strings with arbitrary `#` fences, raw identifiers, lifetimes vs
+//! char literals.
+
+/// Token category. Coarse on purpose: rules match on `Ident` text and
+/// single-character `Punct`s; literal *contents* are never matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`struct`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// One punctuation character (`:`, `<`, `#`, ...). Multi-char
+    /// operators arrive as consecutive tokens.
+    Punct,
+    /// String/char/numeric literal; `text` holds the raw source slice.
+    Literal,
+    /// Lifetime or loop label (`'a`), without the quote.
+    Lifetime,
+}
+
+/// One token with its position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category of this token.
+    pub kind: TokKind,
+    /// The token's text; for raw identifiers the `r#` prefix is
+    /// stripped so `r#type` and `type` compare equal.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (`//...` to end of line, or one `/* ... */` block,
+/// nesting included). Annotations (`lint: allow(...)`, `SAFETY:`)
+/// are recovered from these by [`crate::source::SourceFile`].
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// First line the comment occupies.
+    pub line: u32,
+    /// Last line the comment occupies (equal to `line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs consume to end of input, which is the forgiving
+/// behaviour a linter wants on mid-edit files.
+#[must_use]
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            toks: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == 'r' && matches!(self.peek(1), Some('"' | '#')) {
+                self.raw_prefixed(line, col, 1);
+            } else if c == 'b' && matches!(self.peek(1), Some('"' | '\'')) {
+                self.byte_literal(line, col);
+            } else if c == 'b'
+                && self.peek(1) == Some('r')
+                && matches!(self.peek(2), Some('"' | '#'))
+            {
+                self.raw_prefixed(line, col, 2);
+            } else if c == '"' {
+                self.string_literal(line, col);
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else {
+                self.bump();
+                self.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// `r"..."`, `r#"..."#`, `br#"..."#` (with `skip` chars of
+    /// prefix), or a raw identifier `r#ident`.
+    fn raw_prefixed(&mut self, line: u32, col: u32, skip: usize) {
+        let mut j = self.i + skip;
+        let mut hashes = 0usize;
+        while self.chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.chars.get(j) == Some(&'"') {
+            // Raw (byte) string: consume prefix, hashes, opening
+            // quote, then scan for `"` followed by `hashes` hashes.
+            let mut text = String::new();
+            for _ in 0..(skip + hashes + 1) {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            'scan: while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '"' {
+                    for k in 0..hashes {
+                        if self.peek(k) != Some('#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        if let Some(h) = self.bump() {
+                            text.push(h);
+                        }
+                    }
+                    break;
+                }
+            }
+            self.toks.push(Tok {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+        } else if skip == 1 && hashes == 1 {
+            // Raw identifier `r#ident`: strip the prefix so rules
+            // compare against the plain name.
+            self.bump();
+            self.bump();
+            self.ident(line, col);
+        } else {
+            // `r` / `b` as a plain identifier start.
+            self.ident(line, col);
+        }
+    }
+
+    fn byte_literal(&mut self, line: u32, col: u32) {
+        // `b"..."` or `b'.'` — consume the `b` then delegate.
+        self.bump();
+        if self.peek(0) == Some('"') {
+            self.string_literal(line, col);
+        } else {
+            self.char_literal(line, col);
+        }
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"')); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            kind: TokKind::Literal,
+            text,
+            line,
+            col,
+        });
+    }
+
+    /// After a `'`: lifetime/label or char literal.
+    fn quote(&mut self, line: u32, col: u32) {
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_lifetime = match one {
+            Some(c) if c.is_alphabetic() || c == '_' => two != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // the quote
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            });
+        } else {
+            self.char_literal(line, col);
+        }
+    }
+
+    fn char_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('\'')); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            kind: TokKind::Literal,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            kind: TokKind::Ident,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` but not `0..n` (range) or `1.5.` nonsense.
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e' | 'E'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Float exponent sign: `1e-9`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            kind: TokKind::Literal,
+            text,
+            line,
+            col,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in /* a nested */ block */
+            let s = "HashMap";
+            let r = r#"thread_rng "quoted" inside"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+        assert!(!ids.contains(&"thread_rng".to_owned()));
+        assert!(!ids.contains(&"Instant".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn raw_identifiers_compare_plain() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_owned()));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let (toks, comments) = lex("a\n  // note\n  bc");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (3, 3));
+        assert_eq!(toks[1].text, "bc");
+        assert_eq!(comments[0].line, 2);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let (toks, _) = lex(r#"let s = "a\"b"; let t = c;"#);
+        assert!(toks.iter().any(|t| t.is_ident("c")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == r#""a\"b""#));
+    }
+}

@@ -1,0 +1,229 @@
+//! Source-file model: tokens plus the annotation layer rules consult.
+//!
+//! # Annotation grammar
+//!
+//! Annotations live in ordinary comments and attach to the **code
+//! line they share** or, when the comment block sits on its own
+//! line(s), to the **next code line below** the contiguous
+//! comment-only block:
+//!
+//! ```text
+//! // lint: allow(nondeterminism-sources) — watchdog wall-clock only
+//! let start = Instant::now();          // annotated via block above
+//! let t = Instant::now(); // lint: allow(nondeterminism-sources)
+//! ```
+//!
+//! Recognised forms:
+//!
+//! - `lint: allow(<rule>[, <rule>...])` — suppress the named rules at
+//!   the annotated line; every suppression should say *why* in the
+//!   trailing prose.
+//! - `lint: transient` — on a struct field: the field is deliberately
+//!   outside the snapshot/digest contract (derived state rebuilt on
+//!   restore, config constants, or observability that never feeds
+//!   back into simulation).
+//! - `SAFETY:` — the standard safety-comment marker the
+//!   unsafe-hygiene rule requires above `unsafe` in vendored code.
+
+use crate::lexer::{lex, Comment, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Where a file sits, which decides which rules apply to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// A workspace crate source file; `crate_dir` is the directory
+    /// name under `crates/` (`bpred`, `serve`, ...) or `"root"` for
+    /// the top-level `src/`.
+    Workspace {
+        /// Directory name under `crates/`, or `"root"`.
+        crate_dir: String,
+    },
+    /// A vendored dependency under `vendor/`.
+    Vendor {
+        /// Directory name under `vendor/`.
+        crate_dir: String,
+    },
+    /// A file given explicitly on the command line (or a fixture):
+    /// every rule applies, and the file counts as its own crate root.
+    Adhoc,
+}
+
+/// A lexed source file plus its annotation index.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute (or as-given) path, for reading errors.
+    pub path: PathBuf,
+    /// Workspace-relative display path used in diagnostics.
+    pub rel: String,
+    /// Placement, deciding rule applicability.
+    pub scope: Scope,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// Lines (1-based) that `lint: allow(rule)` covers, per rule.
+    allow: BTreeMap<String, BTreeSet<u32>>,
+    /// Lines a `lint: transient` marker covers.
+    transient: BTreeSet<u32>,
+    /// Lines a `SAFETY:` comment covers.
+    safety: BTreeSet<u32>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a file model.
+    #[must_use]
+    pub fn parse(path: PathBuf, rel: String, scope: Scope, text: &str) -> Self {
+        let (toks, comments) = lex(text);
+        let code_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+        let mut comment_only: BTreeSet<u32> = BTreeSet::new();
+        for c in &comments {
+            for l in c.line..=c.end_line {
+                if !code_lines.contains(&l) {
+                    comment_only.insert(l);
+                }
+            }
+        }
+        // A comment's annotations attach to the comment's own lines
+        // and then to the next code line below any contiguous run of
+        // comment-only lines — so a multi-line justification block
+        // still covers the statement under it.
+        let attach = |c: &Comment| -> BTreeSet<u32> {
+            let mut lines: BTreeSet<u32> = (c.line..=c.end_line).collect();
+            // Only a free-standing comment (its last line holds no
+            // code) reaches down to the statement below it; a
+            // trailing comment covers exactly the line it shares.
+            if comment_only.contains(&c.end_line) {
+                let mut l = c.end_line + 1;
+                while comment_only.contains(&l) {
+                    lines.insert(l);
+                    l += 1;
+                }
+                lines.insert(l);
+            }
+            lines
+        };
+        let mut allow: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+        let mut transient = BTreeSet::new();
+        let mut safety = BTreeSet::new();
+        for c in &comments {
+            if c.text.contains("SAFETY:") {
+                safety.extend(attach(c));
+            }
+            for ann in parse_annotations(&c.text) {
+                match ann {
+                    Annotation::Allow(rules) => {
+                        for r in rules {
+                            allow.entry(r).or_default().extend(attach(c));
+                        }
+                    }
+                    Annotation::Transient => transient.extend(attach(c)),
+                }
+            }
+        }
+        Self {
+            path,
+            rel,
+            scope,
+            toks,
+            allow,
+            transient,
+            safety,
+        }
+    }
+
+    /// Whether `rule` is allowed (suppressed) at `line`.
+    #[must_use]
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.allow.get(rule).is_some_and(|s| s.contains(&line))
+    }
+
+    /// Whether a `lint: transient` marker covers `line`.
+    #[must_use]
+    pub fn is_transient(&self, line: u32) -> bool {
+        self.transient.contains(&line)
+    }
+
+    /// Whether a `SAFETY:` comment covers `line`.
+    #[must_use]
+    pub fn has_safety(&self, line: u32) -> bool {
+        self.safety.contains(&line)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Annotation {
+    Allow(Vec<String>),
+    Transient,
+}
+
+/// Extracts `lint:` annotations from one comment's text.
+fn parse_annotations(text: &str) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("lint:") {
+        rest = rest[pos + "lint:".len()..].trim_start();
+        if let Some(inner) = rest.strip_prefix("allow(") {
+            if let Some(close) = inner.find(')') {
+                let rules = inner[..close]
+                    .split(',')
+                    .map(|r| r.trim().to_owned())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                out.push(Annotation::Allow(rules));
+                rest = &inner[close..];
+            }
+        } else if rest.starts_with("transient") {
+            out.push(Annotation::Transient);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("t.rs"), "t.rs".into(), Scope::Adhoc, src)
+    }
+
+    #[test]
+    fn allow_attaches_to_same_line_and_block_below() {
+        let f = file(concat!(
+            "// lint: allow(output-atomicity) — streaming writer\n",
+            "// (second justification line)\n",
+            "let a = 1;\n",
+            "let b = 2; // lint: allow(unsafe-hygiene)\n",
+            "let c = 3;\n",
+        ));
+        assert!(f.allows("output-atomicity", 3));
+        assert!(!f.allows("output-atomicity", 4));
+        assert!(f.allows("unsafe-hygiene", 4));
+        assert!(!f.allows("unsafe-hygiene", 5));
+    }
+
+    #[test]
+    fn allow_list_splits_on_commas() {
+        let f = file("let x = 0; // lint: allow(a, b)\n");
+        assert!(f.allows("a", 1));
+        assert!(f.allows("b", 1));
+        assert!(!f.allows("c", 1));
+    }
+
+    #[test]
+    fn transient_and_safety_markers() {
+        let f = file(concat!(
+            "struct S {\n",
+            "    /// Derived; rebuilt on restore.\n",
+            "    // lint: transient\n",
+            "    cache: u32,\n",
+            "    real: u32,\n",
+            "}\n",
+            "// SAFETY: handler only stores an atomic.\n",
+            "unsafe { x() };\n",
+        ));
+        assert!(f.is_transient(4));
+        assert!(!f.is_transient(5));
+        assert!(f.has_safety(8));
+        assert!(!f.has_safety(1));
+    }
+}

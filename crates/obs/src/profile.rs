@@ -16,6 +16,10 @@
 //! nesting stack is thread-local, so spans on different workers nest
 //! independently while aggregating into one table.
 
+// The profiler is the designated wall-time module (see perconf-lint's
+// nondeterminism-sources allowlist); its output never feeds results.
+#![allow(clippy::disallowed_methods)]
+
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -10,7 +10,7 @@ use perconf_metrics::DensityPair;
 use perconf_obs::{CounterSnapshot, Counters, Profiler, TraceEvent, Tracer};
 use perconf_workload::{Uop, UopKind, WorkloadConfig, WorkloadGenerator};
 use serde::{Deserialize, Serialize, Value};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// The boxed predictor + estimator combination the simulator drives.
 ///
@@ -327,7 +327,7 @@ pub struct Simulation {
     gen: WorkloadGenerator,
     ctl: Controller,
     mem: MemHierarchy,
-    arena: Arena,
+    arena: Arena, // lint: transient — uop storage; contents rebuilt on restore
     /// Front-end pipe, oldest first — arena slot indices.
     frontend: VecDeque<u32>,
     /// Reorder buffer, oldest first (ascending seq) — arena slot
@@ -339,28 +339,28 @@ pub struct Simulation {
     /// `{i ∈ rob : !issued[i]}`, rebuilt on restore, never serialized.
     /// `issue` scans only this list — not-yet-ready entries sit in
     /// `waiters` and cost nothing per cycle.
-    ready: Vec<SchedEnt>,
+    ready: Vec<SchedEnt>, // lint: transient — derived, rebuilt on restore
     /// Park lot for dispatched entries still missing a producer,
     /// indexed by that producer's seq & [`WAIT_MASK`]. A completing
     /// uop drains its slot and each occupant revalidates: stale
     /// (squashed) entries drop, collision victims re-park, genuinely
     /// woken ones move to `ready`.
-    waiters: Vec<Vec<SchedEnt>>,
+    waiters: Vec<Vec<SchedEnt>>, // lint: transient — derived, rebuilt on restore
     /// Pending completions, one bucket per future cycle: `(slot, seq)`
     /// tickets pushed at issue, drained when `now` reaches the bucket.
     /// Tickets are validated against the arena before use (a squashed
     /// uop leaves a stale ticket behind), and due tickets are
     /// processed in seq order — identical to the old oldest-first ROB
     /// scan. Derived state: rebuilt on restore, never serialized.
-    complete_ring: Vec<Vec<(u32, u64)>>,
+    complete_ring: Vec<Vec<(u32, u64)>>, // lint: transient — derived, rebuilt on restore
     /// Overflow for completions due ≥ `COMPLETE_RING` cycles out.
-    complete_far: Vec<(u32, u64, u64)>,
+    complete_far: Vec<(u32, u64, u64)>, // lint: transient — derived, rebuilt on restore
     status: Vec<SlotStatus>,
     cp_ring: [u64; CP_RING],
     cp_index: u64,
     gate: GateCounter,
     gate_pending: VecDeque<(u64, u64)>,
-    gate_counted: HashSet<u64>,
+    gate_counted: BTreeSet<u64>,
     fetch_history: u64,
     wrong_path_since: Option<u64>,
     restore_history: u64,
@@ -374,12 +374,12 @@ pub struct Simulation {
     // --- observability (derived outputs; deliberately excluded from
     // snapshots and digests — the simulator never reads them back, so
     // a traced run is bit-identical to an untraced one) ---
-    tracer: Tracer,
-    profiler: Profiler,
+    tracer: Tracer,     // lint: transient — observability, never read back
+    profiler: Profiler, // lint: transient — observability, never read back
     /// Cycles of the gate stall currently in progress, for pairing
     /// `GateStallBegin`/`GateStallEnd` trace events. Only advances
     /// while the tracer is enabled.
-    gate_streak: u64,
+    gate_streak: u64, // lint: transient — observability, never read back
 }
 
 impl std::fmt::Debug for Simulation {
@@ -425,7 +425,7 @@ impl Simulation {
             cp_index: 0,
             gate: GateCounter::new(cfg.gating.map_or(1, |g| g.counter_threshold)),
             gate_pending: VecDeque::new(),
-            gate_counted: HashSet::new(),
+            gate_counted: BTreeSet::new(),
             fetch_history: 0,
             wrong_path_since: None,
             restore_history: 0,
@@ -1379,10 +1379,9 @@ impl Simulation {
 /// different machine configuration.
 impl Snapshot for Simulation {
     fn save_state(&self) -> Value {
-        // `gate_counted` is a HashSet; serialize sorted so the snapshot
-        // bytes (and their digest) are independent of hash order.
-        let mut gate_counted: Vec<u64> = self.gate_counted.iter().copied().collect();
-        gate_counted.sort_unstable();
+        // `gate_counted` is a BTreeSet, so this iterates in sorted
+        // order and the snapshot bytes are hash-order independent.
+        let gate_counted: Vec<u64> = self.gate_counted.iter().copied().collect();
         Value::Object(vec![
             ("cfg".into(), self.cfg.to_value()),
             ("gen".into(), self.gen.save_state()),

@@ -19,7 +19,7 @@ use crate::sim::Controller;
 use crate::stats::SimStats;
 use perconf_core::GateCounter;
 use perconf_workload::{Uop, UopKind, WorkloadConfig, WorkloadGenerator};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 const STATUS_WINDOW: usize = 1 << 14;
 const CP_RING: usize = 128;
@@ -81,7 +81,7 @@ struct Thread {
     cp_index: u64,
     gate: GateCounter,
     gate_pending: VecDeque<(u64, u64)>,
-    gate_counted: HashSet<u64>,
+    gate_counted: BTreeSet<u64>,
     fetch_history: u64,
     wrong_path_since: Option<u64>,
     restore_history: u64,
@@ -111,7 +111,7 @@ impl Thread {
             cp_index: 0,
             gate: GateCounter::new(cfg.gating.map_or(1, |g| g.counter_threshold)),
             gate_pending: VecDeque::new(),
-            gate_counted: HashSet::new(),
+            gate_counted: BTreeSet::new(),
             fetch_history: 0,
             wrong_path_since: None,
             restore_history: 0,

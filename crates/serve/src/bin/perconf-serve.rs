@@ -20,6 +20,11 @@
 //! one-shot `repro faults` run would, and exits through the shared
 //! taxonomy in `perconf_experiments::exitcode`.
 
+#![forbid(unsafe_code)]
+// Supervision timing (watchdogs, drain deadlines) is wall-clock by nature
+// and never reaches result bytes.
+#![allow(clippy::disallowed_methods)]
+
 use perconf_experiments::exitcode;
 use perconf_serve::api::{ExperimentSpec, Request, Response};
 use perconf_serve::protocol;

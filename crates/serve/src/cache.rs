@@ -22,7 +22,7 @@
 use perconf_experiments::runner::note_degraded;
 use perconf_experiments::snapfile;
 use perconf_obs::Counters;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
@@ -56,8 +56,11 @@ pub struct CellCache {
     cfg: CacheConfig,
     /// Digests present on disk, coldest first.
     order: VecDeque<u64>,
-    /// Hot decoded tier (subset of `order`).
-    mem: HashMap<u64, serde::Value>,
+    /// Hot decoded tier (subset of `order`). A `BTreeMap` — not a
+    /// hash map — so iteration order (now or in any future use) is
+    /// the key order, never a function of hasher seed state. LRU
+    /// recency lives in `mem_order`, which is already deterministic.
+    mem: BTreeMap<u64, serde::Value>,
     /// Hot-tier recency, coldest first.
     mem_order: VecDeque<u64>,
     hits: u64,
@@ -90,7 +93,7 @@ impl CellCache {
         Ok(Self {
             cfg,
             order: found.into(),
-            mem: HashMap::new(),
+            mem: BTreeMap::new(),
             mem_order: VecDeque::new(),
             hits: 0,
             misses: 0,

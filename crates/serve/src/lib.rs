@@ -34,6 +34,15 @@
 //! pending markers and partials on disk for any experiment it could
 //! not finish, and a restarted server resumes them.
 
+//!
+//! Determinism stance: this crate is part of the result-producing
+//! path, so it carries the same hygiene contract as the rest of the
+//! workspace — no `unsafe` anywhere (the SIGTERM plumbing lives in
+//! the vendored `signal-hook` subset), and artifact writes go through
+//! the checksummed temp+rename helpers. `perconf-lint` verifies both
+//! statically on every CI run.
+
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod actor;

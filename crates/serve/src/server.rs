@@ -11,9 +11,10 @@
 //! Shutdown paths, both of which drain accepted work before exit:
 //!
 //! - a protocol [`Request::Shutdown`] line;
-//! - SIGTERM, observed through a one-flag signal handler installed
-//!   with the minimal libc `signal(2)` shim below (the only unsafe
-//!   code in the workspace, kept to two lines).
+//! - SIGTERM, observed through a one-flag handler registered via the
+//!   vendored `signal-hook` subset (`flag::register`), which keeps
+//!   the `unsafe` signal plumbing out of this crate so the crate root
+//!   can `#![forbid(unsafe_code)]`.
 
 use crate::api::{Request, Response};
 use crate::protocol;
@@ -22,27 +23,29 @@ use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
 
 /// Set by the SIGTERM handler; polled by the accept loop.
-static TERM: AtomicBool = AtomicBool::new(false);
-
-extern "C" fn on_term(_sig: i32) {
-    TERM.store(true, Ordering::SeqCst);
+fn term_flag() -> &'static Arc<AtomicBool> {
+    static TERM: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    TERM.get_or_init(|| Arc::new(AtomicBool::new(false)))
 }
 
 /// Installs the SIGTERM flag handler (idempotent). Async-signal-safe:
-/// the handler only stores an atomic.
+/// the registered handler only stores an atomic.
 fn install_sigterm_handler() {
-    const SIGTERM: i32 = 15;
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-    unsafe {
-        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
-    }
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let registered =
+            signal_hook::flag::register(signal_hook::consts::SIGTERM, Arc::clone(term_flag()));
+        if let Err(e) = registered {
+            // Degraded but functional: protocol `Shutdown` still
+            // drains; only the signal path is lost.
+            eprintln!("warning: cannot install SIGTERM handler: {e}");
+        }
+    });
 }
 
 /// Front-end configuration.
@@ -117,7 +120,8 @@ impl Server {
     pub fn run(self) {
         install_sigterm_handler();
         loop {
-            if TERM.load(Ordering::SeqCst) || self.shutdown_requested.load(Ordering::SeqCst) {
+            if term_flag().load(Ordering::SeqCst) || self.shutdown_requested.load(Ordering::SeqCst)
+            {
                 break;
             }
             match self.listener.accept() {

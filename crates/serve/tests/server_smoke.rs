@@ -12,6 +12,9 @@
 //! - shutdown drains accepted work; a pending marker left by a dead
 //!   server is resumed by its successor.
 
+// Test deadlines: wall-clock never reaches asserted results.
+#![allow(clippy::disallowed_methods)]
+
 use perconf_experiments::faults;
 use perconf_experiments::runner::{RunnerConfig, Scheduler, SchedulerConfig};
 use perconf_experiments::Scale;

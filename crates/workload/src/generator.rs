@@ -499,7 +499,7 @@ mod tests {
     #[test]
     fn wrong_path_branches_use_real_site_pcs() {
         let mut g = gen("mcf");
-        let pcs: std::collections::HashSet<u64> = g.program().sites.iter().map(|s| s.pc).collect();
+        let pcs: std::collections::BTreeSet<u64> = g.program().sites.iter().map(|s| s.pc).collect();
         let mut seen = 0;
         for _ in 0..5_000 {
             let u = g.next_wrong_path();

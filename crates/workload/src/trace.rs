@@ -94,6 +94,8 @@ impl TraceWriter<BufWriter<File>> {
     ///
     /// Propagates I/O errors from file creation.
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        // lint: allow(output-atomicity) — streaming writer; `finish` patches the
+        // header and the reader detects truncation via count + checksum
         Self::new(BufWriter::new(File::create(path)?))
     }
 

@@ -1,0 +1,138 @@
+//! Offline vendored subset of the `signal-hook` crate: exactly the
+//! API surface this workspace uses — [`consts::SIGTERM`] and
+//! [`flag::register`], which arranges for an `Arc<AtomicBool>` to be
+//! set when a signal is delivered.
+//!
+//! Keeping the `unsafe` signal plumbing here (instead of in
+//! `perconf-serve`) lets every workspace crate carry
+//! `#![forbid(unsafe_code)]`; `perconf-lint`'s unsafe-hygiene rule
+//! requires a `// SAFETY:` comment above each `unsafe` block in
+//! vendored code, which this file follows.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod consts {
+    //! Signal numbers (POSIX-standard values, identical on every
+    //! platform this workspace targets).
+
+    /// Termination request — the default signal `kill(1)` sends.
+    pub const SIGTERM: i32 = 15;
+}
+
+pub mod flag {
+    //! Set an atomic flag when a signal arrives.
+
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::Arc;
+
+    /// Opaque registration handle. In this subset registrations are
+    /// process-lifetime (the real crate's `unregister` is not
+    /// vendored because nothing in the workspace uses it).
+    #[derive(Debug)]
+    pub struct SigId {
+        _signal: i32,
+    }
+
+    /// Highest signal number (exclusive) the flag table covers;
+    /// comfortably above every POSIX signal.
+    const MAX_SIGNAL: usize = 64;
+
+    /// One published flag pointer per signal number. The handler only
+    /// loads an `AtomicPtr` and stores an `AtomicBool` — both
+    /// async-signal-safe operations.
+    static FLAGS: [AtomicPtr<AtomicBool>; MAX_SIGNAL] =
+        [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_SIGNAL];
+
+    extern "C" fn set_flag_handler(sig: i32) {
+        let Ok(idx) = usize::try_from(sig) else {
+            return;
+        };
+        if idx >= MAX_SIGNAL {
+            return;
+        }
+        let p = FLAGS[idx].load(Ordering::SeqCst);
+        if !p.is_null() {
+            // SAFETY: `p` was produced by `Arc::into_raw` in
+            // `register`, which deliberately leaks that strong
+            // reference, so the pointee stays valid for the rest of
+            // the process. An atomic store is async-signal-safe.
+            unsafe { (*p).store(true, Ordering::SeqCst) };
+        }
+    }
+
+    extern "C" {
+        /// `signal(2)` — the only libc entry point this subset needs.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Arranges for `flag` to be set to `true` whenever `signal_num`
+    /// is delivered. Mirrors `signal_hook::flag::register`: the flag
+    /// is shared, the caller polls it, and the handler itself does
+    /// nothing but the atomic store.
+    ///
+    /// Re-registering the same signal replaces the published flag
+    /// (the previous one stays alive: an in-flight handler on another
+    /// thread may still hold its pointer).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `signal_num` is out of range or the
+    /// `signal(2)` call is rejected by the OS.
+    pub fn register(signal_num: i32, flag: Arc<AtomicBool>) -> io::Result<SigId> {
+        let idx = usize::try_from(signal_num)
+            .ok()
+            .filter(|&i| i < MAX_SIGNAL)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "signal number out of range")
+            })?;
+        // Leak one strong reference: the handler can fire at any
+        // point for the rest of the process, so the flag must never
+        // be dropped out from under it.
+        let raw = Arc::into_raw(flag).cast_mut();
+        FLAGS[idx].store(raw, Ordering::SeqCst);
+        // SAFETY: installs a handler that only performs atomic loads
+        // and stores (async-signal-safe); `set_flag_handler` has the
+        // exact `extern "C" fn(i32)` shape `signal(2)` expects, and
+        // the function-pointer-to-usize cast matches the declared
+        // FFI signature above.
+        let rc = unsafe { signal(signal_num, set_flag_handler as extern "C" fn(i32) as usize) };
+        // SIG_ERR is `(void (*)(int)) -1`.
+        if rc == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(SigId {
+            _signal: signal_num,
+        })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn rejects_out_of_range_signal() {
+            assert!(register(-1, Arc::new(AtomicBool::new(false))).is_err());
+            assert!(register(9999, Arc::new(AtomicBool::new(false))).is_err());
+        }
+
+        #[test]
+        fn flag_is_set_on_raise() {
+            // SIGUSR1 = 10 on Linux; safe to self-deliver in-process.
+            const SIGUSR1: i32 = 10;
+            let flag = Arc::new(AtomicBool::new(false));
+            register(SIGUSR1, Arc::clone(&flag)).unwrap();
+            assert!(!flag.load(Ordering::SeqCst));
+            // SAFETY: raising a signal for which an async-signal-safe
+            // handler was just installed; `raise(3)` is the
+            // documented way to self-deliver.
+            unsafe {
+                extern "C" {
+                    fn raise(signum: i32) -> i32;
+                }
+                assert_eq!(raise(SIGUSR1), 0);
+            }
+            assert!(flag.load(Ordering::SeqCst));
+        }
+    }
+}
