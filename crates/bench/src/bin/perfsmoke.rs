@@ -228,7 +228,10 @@ fn write_json(path: &PathBuf, report: &Report) -> Result<(), String> {
     }
     let body =
         serde_json::to_string_pretty(report).map_err(|e| format!("cannot serialize: {e}"))?;
-    std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, body)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 fn run() -> Result<(), String> {

@@ -5,6 +5,9 @@
 //!                    [--resume <dir>] [--seed <u64>] [--jobs <n>]
 //!                    [--batch <n>] [--timing <file>] [--profile]
 //!                    [--metrics-out <file>] [--trace-out <file>] [--force]
+//! repro run <spec.toml|spec.json> [--check] [--jobs <n>] [--batch <n>]
+//!           [--resume <dir>] [--json <dir>] [--csv <dir>]
+//!           [--timing <file>] [--force]
 //! repro verify [--bench <name>] [--full | --tiny]
 //!              [--trace <file> [--tolerant]]
 //! repro obs <file.pobs> [--jsonl <file>] [--force]
@@ -19,8 +22,22 @@
 //!
 //! experiments: table2 table3 table4 table5 table6
 //!              fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults
-//!              sweep verify obs all
+//!              sweep verify obs run all
 //! ```
+//!
+//! `run` executes a declarative experiment spec
+//! (`perconf_experiments::spec`, format reference in EXPERIMENTS.md):
+//! the file names the experiment, scale, benchmarks, design points or
+//! fault grid, and the run is **byte-identical** — result JSON and
+//! `.psnap` checkpoints included — to the equivalent hard-coded
+//! subcommand, because both lower onto the same cell machinery (CI's
+//! `specs` lane diffs exactly that). `--check` parses, validates and
+//! lowers the spec, prints what would run, and exits without
+//! simulating. `--jobs`, `--batch` and `--resume` pass through
+//! unchanged; the spec's `[output]` section supplies default `--json`
+//! / `--timing` destinations, with explicit flags winning. A spec
+//! whose `spec_version` is from another era exits with code 6,
+//! distinct from ordinary usage errors.
 //!
 //! `--resume <dir>` checkpoints every sweep cell into `<dir>` and, on
 //! a rerun, loads finished cells instead of recomputing them — only
@@ -96,12 +113,13 @@
 //! Exit codes (see `perconf_experiments::exit`): 0 success, 1
 //! unclassified error, 2 usage error, 3 success after degrading
 //! corrupt input to recomputation, 4 failed sweep cells, 5 failed
-//! cells where every failure was a watchdog timeout.
+//! cells where every failure was a watchdog timeout, 6 unsupported
+//! `spec_version` in a `repro run` spec file.
 
 #![forbid(unsafe_code)]
 
 use perconf_experiments::runner::{
-    default_jobs, degraded_count, gc_dir, RunnerConfig, Scheduler, SchedulerConfig,
+    default_jobs, degraded_count, gc_dir, Scheduler, SchedulerConfig,
 };
 use perconf_experiments::{
     common, distrib, energy, exit, faults, fig89, figs, latency, table2, table3, table4, table5,
@@ -120,6 +138,10 @@ use std::time::Duration;
 enum RunFailure {
     /// Bad flag combination or unknown experiment → exit 2.
     Usage(String),
+    /// A `repro run` spec declared a `spec_version` this build does
+    /// not read → exit 6 (distinct from exit 2 so automation can tell
+    /// "upgrade or regenerate" apart from "fix your spec").
+    SpecVersion(String),
     /// The sweep finished but cells failed terminally → exit 4, or 5
     /// when every failure class is `timeout`.
     FailedCells {
@@ -140,6 +162,7 @@ impl RunFailure {
     fn exit_code(&self) -> u8 {
         match self {
             RunFailure::Usage(_) => exit::USAGE,
+            RunFailure::SpecVersion(_) => exit::SPEC_VERSION,
             RunFailure::FailedCells { kinds, .. } => exit::classify_failed_kinds(kinds),
             RunFailure::Other(_) => exit::FAILURE,
         }
@@ -147,7 +170,7 @@ impl RunFailure {
 
     fn render(&self) -> String {
         match self {
-            RunFailure::Usage(m) | RunFailure::Other(m) => m.clone(),
+            RunFailure::Usage(m) | RunFailure::SpecVersion(m) | RunFailure::Other(m) => m.clone(),
             RunFailure::FailedCells { keys, kinds } => {
                 let all_timeout = !kinds.is_empty() && kinds.iter().all(|k| k == "timeout");
                 format!(
@@ -223,6 +246,7 @@ fn check_output_paths(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+#[derive(Clone)]
 struct Args {
     experiment: String,
     /// Second positional argument (the trace file for `repro obs`).
@@ -234,7 +258,10 @@ struct Args {
     seed: u64,
     jobs: usize,
     timing: Option<PathBuf>,
-    bench: String,
+    /// Benchmark filter (`--bench`, repeatable). Empty = the full
+    /// SPECint2000 set for table/figure experiments; `verify` uses the
+    /// first entry (default `gcc`).
+    bench: Vec<String>,
     trace: Option<PathBuf>,
     tolerant: bool,
     profile: bool,
@@ -263,6 +290,9 @@ struct Args {
     chaos_script: Option<String>,
     /// Garbage-collect the `--resume` directory instead of sweeping.
     gc: bool,
+    /// `repro run --check`: validate and lower the spec, then exit
+    /// without simulating.
+    check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -276,7 +306,7 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = default_jobs();
     let mut batch = 1usize;
     let mut timing = None;
-    let mut bench = "gcc".to_owned();
+    let mut bench = Vec::new();
     let mut trace = None;
     let mut tolerant = false;
     let mut profile = false;
@@ -293,6 +323,7 @@ fn parse_args() -> Result<Args, String> {
     let mut worker_id = None;
     let mut chaos_script = None;
     let mut gc = false;
+    let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -336,7 +367,7 @@ fn parse_args() -> Result<Args, String> {
                 batch = n.max(1);
             }
             "--bench" => {
-                bench = it.next().ok_or("--bench needs a benchmark name")?;
+                bench.push(it.next().ok_or("--bench needs a benchmark name")?);
             }
             "--trace" => {
                 trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
@@ -400,6 +431,7 @@ fn parse_args() -> Result<Args, String> {
                 chaos_script = Some(it.next().ok_or("--chaos-script needs a script")?);
             }
             "--gc" => gc = true,
+            "--check" => check = true,
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -440,6 +472,7 @@ fn parse_args() -> Result<Args, String> {
         worker_id,
         chaos_script,
         gc,
+        check,
     })
 }
 
@@ -455,8 +488,9 @@ fn grid_by_name(name: &str) -> faults::Grid {
 /// self-checks. Fails (returns `Err`) when a clean probe diverges or
 /// the injected-fault probe does *not*.
 fn run_verify(args: &Args) -> Result<(), String> {
-    let wl = perconf_workload::spec2000_config(&args.bench)
-        .ok_or_else(|| format!("unknown benchmark {}", args.bench))?;
+    let bench = args.bench.first().map_or("gcc", String::as_str);
+    let wl = perconf_workload::spec2000_config(bench)
+        .ok_or_else(|| format!("unknown benchmark {bench}"))?;
     let cfg = perconf_pipeline::PipelineConfig::deep().gated(1);
     let mk = || common::controller(common::PredictorKind::BimodalGshare, common::perceptron(14));
     let scale = args.scale;
@@ -511,17 +545,17 @@ fn run_verify(args: &Args) -> Result<(), String> {
     }
 }
 
-fn save_json(dir: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
+/// Saves a result struct as `<dir>/<name>.json` through the same
+/// atomic temp+rename, refuse-to-overwrite-without-`--force` guard as
+/// every other output writer. Best-effort (a failed save warns rather
+/// than discarding the already-computed result from stdout).
+fn save_json(dir: &Option<PathBuf>, name: &str, value: &impl serde::Serialize, force: bool) {
     if let Some(dir) = dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("warning: cannot create {}: {e}", dir.display());
-            return;
-        }
         let path = dir.join(format!("{name}.json"));
         match serde_json::to_string_pretty(value) {
             Ok(s) => {
-                if let Err(e) = std::fs::write(&path, s) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
+                if let Err(e) = write_guarded(&path, &s, force) {
+                    eprintln!("warning: {e}");
                 }
             }
             Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
@@ -529,19 +563,14 @@ fn save_json(dir: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
     }
 }
 
-fn save_csv(dir: &Option<PathBuf>, name: &str, body: &str) {
-    save_file(dir, &format!("{name}.csv"), body);
+fn save_csv(dir: &Option<PathBuf>, name: &str, body: &str, force: bool) {
+    save_file(dir, &format!("{name}.csv"), body, force);
 }
 
-fn save_file(dir: &Option<PathBuf>, file: &str, body: &str) {
+fn save_file(dir: &Option<PathBuf>, file: &str, body: &str, force: bool) {
     if let Some(dir) = dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("warning: cannot create {}: {e}", dir.display());
-            return;
-        }
-        let path = dir.join(file);
-        if let Err(e) = std::fs::write(&path, body) {
-            eprintln!("warning: cannot write {}: {e}", path.display());
+        if let Err(e) = write_guarded(&dir.join(file), body, force) {
+            eprintln!("warning: {e}");
         }
     }
 }
@@ -628,9 +657,16 @@ fn run_one(
     let scale = args.scale;
     match name {
         "table2" => {
-            let t = table2::run(scale);
+            let benches = bench_list(args)?;
+            // Routed through the scheduler — not the plain in-process
+            // path — so checkpoints, resume, and job fan-out behave
+            // exactly like a spec-driven run (byte-identical outputs,
+            // `.psnap` files included; pinned by test and CI).
+            let mut scheduler = scheduler_for(args);
+            let (t, timings) = table2::run_scheduled(scale, &benches, &mut scheduler);
+            let t = t.map_err(|failed| failed_cells(failed, &timings))?;
             println!("{}", t.render());
-            save_json(&args.json_dir, "table2", &t);
+            save_json(&args.json_dir, "table2", &t, args.force);
         }
         "table3" => {
             let t = table3::run(scale);
@@ -639,12 +675,17 @@ fn run_one(
                 "headline (perceptron PVN beats JRS everywhere): {}",
                 t.perceptron_pvn_dominates()
             );
-            save_json(&args.json_dir, "table3", &t);
+            save_json(&args.json_dir, "table3", &t, args.force);
         }
         "table4" => {
-            let t = table4::run(scale);
+            let t = table4::run_points(
+                scale,
+                bench_list(args)?,
+                &table4::default_jrs_points(),
+                &table4::default_perceptron_lambdas(),
+            );
             println!("{}", t.render());
-            save_json(&args.json_dir, "table4", &t);
+            save_json(&args.json_dir, "table4", &t, args.force);
         }
         "table5" => {
             let t = table5::run(scale);
@@ -653,130 +694,65 @@ fn run_one(
                 "better predictor leaves less opportunity: {}",
                 t.better_predictor_reduces_opportunity()
             );
-            save_json(&args.json_dir, "table5", &t);
+            save_json(&args.json_dir, "table5", &t, args.force);
         }
         "table6" => {
             let t = table6::run(scale);
             println!("{}", t.render());
             println!("narrow weights hurt most: {}", t.narrow_weights_hurt_most());
-            save_json(&args.json_dir, "table6", &t);
+            save_json(&args.json_dir, "table6", &t, args.force);
         }
         "fig4" | "fig5" => {
             let f = figs::run(figs::Training::CorrectIncorrect, "gcc", scale);
             println!("{}", f.render());
             let (full, zoom) = f.to_csv();
-            save_csv(&args.csv_dir, "fig4_cic_full", &full);
-            save_csv(&args.csv_dir, "fig5_cic_zoom", &zoom);
+            save_csv(&args.csv_dir, "fig4_cic_full", &full, args.force);
+            save_csv(&args.csv_dir, "fig5_cic_zoom", &zoom, args.force);
             let (svg_full, svg_zoom) = f.to_svg();
-            save_file(&args.csv_dir, "fig4_cic_full.svg", &svg_full);
-            save_file(&args.csv_dir, "fig5_cic_zoom.svg", &svg_zoom);
-            save_json(&args.json_dir, "fig45", &f);
+            save_file(&args.csv_dir, "fig4_cic_full.svg", &svg_full, args.force);
+            save_file(&args.csv_dir, "fig5_cic_zoom.svg", &svg_zoom, args.force);
+            save_json(&args.json_dir, "fig45", &f, args.force);
         }
         "fig6" | "fig7" => {
             let f = figs::run(figs::Training::TakenNotTaken, "gcc", scale);
             println!("{}", f.render());
             let (full, zoom) = f.to_csv();
-            save_csv(&args.csv_dir, "fig6_tnt_full", &full);
-            save_csv(&args.csv_dir, "fig7_tnt_zoom", &zoom);
+            save_csv(&args.csv_dir, "fig6_tnt_full", &full, args.force);
+            save_csv(&args.csv_dir, "fig7_tnt_zoom", &zoom, args.force);
             let (svg_full, svg_zoom) = f.to_svg();
-            save_file(&args.csv_dir, "fig6_tnt_full.svg", &svg_full);
-            save_file(&args.csv_dir, "fig7_tnt_zoom.svg", &svg_zoom);
-            save_json(&args.json_dir, "fig67", &f);
+            save_file(&args.csv_dir, "fig6_tnt_full.svg", &svg_full, args.force);
+            save_file(&args.csv_dir, "fig7_tnt_zoom.svg", &svg_zoom, args.force);
+            save_json(&args.json_dir, "fig67", &f, args.force);
         }
         "fig8" => {
-            let f = fig89::run(fig89::Machine::Deep, scale);
+            let f = fig89::run_on(fig89::Machine::Deep, scale, bench_list(args)?);
             println!("{}", f.render());
-            save_file(&args.csv_dir, "fig8.svg", &f.to_svg());
-            save_json(&args.json_dir, "fig8", &f);
+            save_file(&args.csv_dir, "fig8.svg", &f.to_svg(), args.force);
+            save_json(&args.json_dir, "fig8", &f, args.force);
         }
         "fig9" => {
-            let f = fig89::run(fig89::Machine::Wide, scale);
+            let f = fig89::run_on(fig89::Machine::Wide, scale, bench_list(args)?);
             println!("{}", f.render());
-            save_file(&args.csv_dir, "fig9.svg", &f.to_svg());
-            save_json(&args.json_dir, "fig9", &f);
+            save_file(&args.csv_dir, "fig9.svg", &f.to_svg(), args.force);
+            save_json(&args.json_dir, "fig9", &f, args.force);
         }
         "latency" => {
             let l = latency::run(scale);
             println!("{}", l.render());
             println!("9-cycle latency is cheap: {}", l.nine_cycles_is_cheap());
-            save_json(&args.json_dir, "latency", &l);
+            save_json(&args.json_dir, "latency", &l, args.force);
         }
         "energy" => {
             let e = energy::run(scale);
             println!("{}", e.render());
             println!("gating saves energy: {}", e.gating_saves_energy());
-            save_json(&args.json_dir, "energy", &e);
+            save_json(&args.json_dir, "energy", &e, args.force);
         }
         "faults" => {
             if args.gc {
                 return run_gc(args);
             }
-            let runner_cfg = match &args.resume_dir {
-                Some(dir) => {
-                    note_resume_dir_state(dir);
-                    RunnerConfig::resuming(dir)
-                }
-                None => RunnerConfig {
-                    timeout: None,
-                    ..RunnerConfig::default()
-                },
-            };
-            let mut scheduler = Scheduler::new(SchedulerConfig {
-                runner: runner_cfg,
-                jobs: args.jobs,
-            });
-            // Width 1 runs the identical engine one cell per group;
-            // any width produces byte-identical output (pinned by the
-            // batch determinism suite), so batching is purely a
-            // throughput knob.
-            let (t, timings) = faults::run_grid_batched(
-                scale,
-                args.seed,
-                &grid_by_name(&args.grid),
-                &mut scheduler,
-                args.batch,
-            );
-            println!("{}", t.render());
-            println!(
-                "faults degrade metrics monotonically: {}",
-                t.degrades_monotonically()
-            );
-            *counters = Some(t.counters.clone());
-            report_timings(&timings, args.jobs, &args.timing, args.force);
-            save_json(&args.json_dir, "faults", &t);
-            if t.failed.is_empty() {
-                // Clean completion: collect the stale partials and
-                // temp files a killed earlier run may have left.
-                if let Some(dir) = &args.resume_dir {
-                    let gc = gc_dir(dir);
-                    if gc.total() > 0 {
-                        eprintln!(
-                            "[gc: removed {} stale partial(s), {} temp file(s) from {}]",
-                            gc.partials_removed,
-                            gc.temps_removed,
-                            dir.display()
-                        );
-                    }
-                }
-            } else {
-                // Failure classes come from the timing rows, which
-                // carry each failed cell's terminal error kind.
-                let kinds = t
-                    .failed
-                    .iter()
-                    .map(|key| {
-                        timings
-                            .iter()
-                            .find(|row| &row.key == key)
-                            .and_then(|row| row.error_kind.clone())
-                            .unwrap_or_else(|| "unknown".to_owned())
-                    })
-                    .collect();
-                return Err(RunFailure::FailedCells {
-                    keys: t.failed.clone(),
-                    kinds,
-                });
-            }
+            run_faults_grid(args, &grid_by_name(&args.grid), scale, args.seed, counters)?;
         }
         "sweep" => {
             if let Some(id) = &args.worker_id {
@@ -811,7 +787,7 @@ fn run_one(
                 t.degrades_monotonically()
             );
             *counters = Some(t.counters.clone());
-            save_json(&args.json_dir, "faults", &t);
+            save_json(&args.json_dir, "faults", &t, args.force);
             eprintln!(
                 "[sweep: {} worker(s) spawned, {} respawned, {} chaos exit(s); \
                  {} recovered from checkpoints, {} recomputed inline, {} mid-cell resume(s)]",
@@ -831,7 +807,195 @@ fn run_one(
         }
         "verify" => run_verify(args)?,
         "obs" => run_obs(args)?,
+        "run" => run_spec(args, counters)?,
         other => return Err(RunFailure::Usage(format!("unknown experiment: {other}"))),
+    }
+    Ok(())
+}
+
+/// Resolves the `--bench` filter (empty = the full SPECint2000 set)
+/// into workload configs, rejecting unknown names up front.
+fn bench_list(args: &Args) -> Result<Vec<perconf_workload::WorkloadConfig>, RunFailure> {
+    if args.bench.is_empty() {
+        return Ok(common::benchmarks());
+    }
+    args.bench
+        .iter()
+        .map(|name| {
+            perconf_workload::spec2000_config(name)
+                .ok_or_else(|| RunFailure::Usage(format!("unknown benchmark {name}")))
+        })
+        .collect()
+}
+
+/// Builds the scheduler every cell-based experiment shares: `--jobs`
+/// workers, resuming from `--resume <dir>` when given (with the
+/// stale/empty-directory advisory).
+fn scheduler_for(args: &Args) -> Scheduler {
+    if let Some(dir) = &args.resume_dir {
+        note_resume_dir_state(dir);
+    }
+    Scheduler::new(SchedulerConfig::for_run(
+        args.jobs,
+        args.resume_dir.as_deref(),
+    ))
+}
+
+/// Maps failed cell keys to a [`RunFailure::FailedCells`], pulling
+/// each cell's terminal failure class from its timing row.
+fn failed_cells(
+    keys: Vec<String>,
+    timings: &[perconf_experiments::runner::CellTiming],
+) -> RunFailure {
+    let kinds = keys
+        .iter()
+        .map(|key| {
+            timings
+                .iter()
+                .find(|row| &row.key == key)
+                .and_then(|row| row.error_kind.clone())
+                .unwrap_or_else(|| "unknown".to_owned())
+        })
+        .collect();
+    RunFailure::FailedCells { keys, kinds }
+}
+
+/// The faults sweep on an explicit grid — shared by the `faults`
+/// subcommand (preset via `--grid`) and spec-driven runs (preset or
+/// explicit axes), so both produce byte-identical output.
+fn run_faults_grid(
+    args: &Args,
+    grid: &faults::Grid,
+    scale: Scale,
+    seed: u64,
+    counters: &mut Option<CounterSnapshot>,
+) -> Result<(), RunFailure> {
+    let mut scheduler = scheduler_for(args);
+    // Width 1 runs the identical engine one cell per group; any width
+    // produces byte-identical output (pinned by the batch determinism
+    // suite), so batching is purely a throughput knob.
+    let (t, timings) = faults::run_grid_batched(scale, seed, grid, &mut scheduler, args.batch);
+    println!("{}", t.render());
+    println!(
+        "faults degrade metrics monotonically: {}",
+        t.degrades_monotonically()
+    );
+    *counters = Some(t.counters.clone());
+    report_timings(&timings, args.jobs, &args.timing, args.force);
+    save_json(&args.json_dir, "faults", &t, args.force);
+    if t.failed.is_empty() {
+        // Clean completion: collect the stale partials and temp files
+        // a killed earlier run may have left.
+        if let Some(dir) = &args.resume_dir {
+            let gc = gc_dir(dir);
+            if gc.total() > 0 {
+                eprintln!(
+                    "[gc: removed {} stale partial(s), {} temp file(s) from {}]",
+                    gc.partials_removed,
+                    gc.temps_removed,
+                    dir.display()
+                );
+            }
+        }
+        Ok(())
+    } else {
+        // Failure classes come from the timing rows, which carry each
+        // failed cell's terminal error kind.
+        Err(failed_cells(t.failed.clone(), &timings))
+    }
+}
+
+/// `repro run <spec>`: execute (or, with `--check`, just validate) a
+/// declarative experiment spec. The spec supplies experiment, scale,
+/// seed, benchmarks/points/grid, and default output destinations;
+/// `--jobs`, `--batch`, `--resume` and explicit output flags pass
+/// through unchanged. Lowering lands on the *same* cell machinery as
+/// the hard-coded subcommands, which is what makes the outputs —
+/// checkpoint files included — byte-identical (CI's `specs` lane
+/// gates on exactly that).
+fn run_spec(args: &Args, counters: &mut Option<CounterSnapshot>) -> Result<(), RunFailure> {
+    use perconf_experiments::spec::{Lowered, RunSpec, SpecError};
+    let input = args
+        .input
+        .as_deref()
+        .ok_or_else(|| RunFailure::Usage("run needs a spec file: repro run <spec.toml>".into()))?;
+    let spec = RunSpec::load(Path::new(input)).map_err(|e| match e {
+        SpecError::Version { message, .. } => RunFailure::SpecVersion(message),
+        SpecError::Invalid(m) => RunFailure::Usage(m),
+    })?;
+    let lowered = spec
+        .lower()
+        .map_err(|e| RunFailure::Other(format!("{input}: cannot lower spec: {e}")))?;
+    if args.check {
+        println!(
+            "spec OK: {input} — {} ({} cell(s), scale {})",
+            lowered.describe(),
+            lowered.cell_count(),
+            spec.experiment.scale
+        );
+        return Ok(());
+    }
+    // The spec's [output] section supplies defaults; explicit CLI
+    // flags win. The merged view is what the shared helpers see, so
+    // guarding and atomicity are identical either way.
+    let out = spec.output.clone().unwrap_or_default();
+    let merged = Args {
+        json_dir: args
+            .json_dir
+            .clone()
+            .or_else(|| out.json.as_deref().map(PathBuf::from)),
+        timing: args
+            .timing
+            .clone()
+            .or_else(|| out.timing.as_deref().map(PathBuf::from)),
+        ..args.clone()
+    };
+    let args = &merged;
+    if let Some(path) = &args.timing {
+        if path.exists() && !args.force {
+            return Err(RunFailure::Usage(format!(
+                "output file {} already exists (pass --force to replace it)",
+                path.display()
+            )));
+        }
+    }
+    match lowered {
+        Lowered::Table2 { scale, benchmarks } => {
+            let mut scheduler = scheduler_for(args);
+            let (t, timings) = table2::run_scheduled(scale, &benchmarks, &mut scheduler);
+            let t = t.map_err(|failed| failed_cells(failed, &timings))?;
+            println!("{}", t.render());
+            save_json(&args.json_dir, "table2", &t, args.force);
+        }
+        Lowered::Table4 {
+            scale,
+            benchmarks,
+            jrs_points,
+            perceptron_lambdas,
+        } => {
+            let t = table4::run_points(scale, benchmarks, &jrs_points, &perceptron_lambdas);
+            println!("{}", t.render());
+            save_json(&args.json_dir, "table4", &t, args.force);
+        }
+        Lowered::Fig89 {
+            machine,
+            scale,
+            benchmarks,
+            name,
+        } => {
+            let f = fig89::run_on(machine, scale, benchmarks);
+            println!("{}", f.render());
+            save_file(
+                &args.csv_dir,
+                &format!("{name}.svg"),
+                &f.to_svg(),
+                args.force,
+            );
+            save_json(&args.json_dir, &name, &f, args.force);
+        }
+        Lowered::Faults { scale, seed, grid } => {
+            run_faults_grid(args, &grid, scale, seed, counters)?;
+        }
     }
     Ok(())
 }
@@ -1016,14 +1180,15 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro <experiment> [--full | --tiny] [--json <dir>] [--csv <dir>] [--resume <dir>] [--seed <u64>] [--jobs <n>] [--batch <n>] [--timing <file>]\n\
                  \x20            [--grid full|small] [--profile] [--metrics-out <file>] [--trace-out <file>] [--force]\n\
+                 \x20      repro run <spec.toml|spec.json> [--check] [--jobs <n>] [--batch <n>] [--resume <dir>] [--json <dir>] [--csv <dir>] [--timing <file>] [--force]\n\
                  \x20      repro verify [--bench <name>] [--full | --tiny] [--trace <file> [--tolerant]]\n\
                  \x20      repro obs <file.pobs> [--jsonl <file>] [--force]\n\
                  \x20      repro sweep --queue <dir> [--workers <n>] [--grid full|small] [--lease-secs <s>] [--chaos <spec>] [--cell-timeout <s>]\n\
                  \x20      repro faults --gc --resume <dir>\n\
                  \x20      repro serve [--state <dir>] [--addr <ip:port>] [--queue <n>] [--restarts <n>] [--watchdog <s>]\n\
                  \x20      repro submit [--state <dir> | --addr <ip:port>] --seed <u64> [--full | --tiny] [--grid full|small] [--json <dir>] [--chaos kill]\n\
-                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults sweep verify obs all\n\
-                 exit codes: 0 ok | 1 error | 2 usage | 3 ok-but-degraded-input | 4 failed cells | 5 all failures were watchdog timeouts"
+                 experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7 fig8 fig9 latency energy faults sweep verify obs run all\n\
+                 exit codes: 0 ok | 1 error | 2 usage | 3 ok-but-degraded-input | 4 failed cells | 5 all failures were watchdog timeouts | 6 unsupported spec_version"
             );
             return ExitCode::from(exit::USAGE);
         }

@@ -222,13 +222,22 @@ fn run() -> Result<(), String> {
             if let Some(dir) = &o.out {
                 std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
                 let svg = perconf_metrics::svg::density_svg(d, "estimator output density");
-                std::fs::write(dir.join("density.svg"), svg).map_err(|e| e.to_string())?;
-                std::fs::write(dir.join("density.csv"), d.to_csv()).map_err(|e| e.to_string())?;
+                write_staged(&dir.join("density.svg"), svg.as_bytes())?;
+                write_staged(&dir.join("density.csv"), d.to_csv().as_bytes())?;
                 println!("wrote density.svg / density.csv to {}", dir.display());
             }
         }
     }
     Ok(())
+}
+
+/// Stages to a `.tmp` sibling and renames, so an interrupted run
+/// never leaves a torn artifact at the final path.
+fn write_staged(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 fn main() -> ExitCode {

@@ -11,6 +11,10 @@
 //! experiment across `n` worker threads (`0` = every core; default
 //! every core). Claim outcomes are byte-identical at any job count.
 //!
+//! When run from the repository root, the checked-in declarative
+//! specs under `specs/` are also validated (parse → lower) as one of
+//! the claims.
+//!
 //! Exit codes follow the shared taxonomy
 //! (`perconf_experiments::exitcode`): 0 every check passed, 2 usage
 //! error, 3 all checks passed but corrupt input was degraded to
@@ -20,8 +24,8 @@
 
 use perconf_experiments::runner::{default_jobs, degraded_count};
 use perconf_experiments::{
-    common, energy, exitcode as exit, fig89, figs, latency, table2, table3, table4, table5, table6,
-    Scale,
+    common, energy, exitcode as exit, fig89, figs, latency, spec, table2, table3, table4, table5,
+    table6, Scale,
 };
 use std::process::ExitCode;
 
@@ -180,6 +184,33 @@ fn main() -> ExitCode {
         "energy: gating saves energy at some λ",
         en.gating_saves_energy(),
     );
+
+    // The declarative spec surface: every checked-in `specs/*` file
+    // must still parse, validate, and lower — the data files are part
+    // of the reproduction, and a claim checker that ignored them
+    // would let the spec twin of a table rot. Skipped (with a note)
+    // when run outside the repository root.
+    match std::fs::read_dir("specs") {
+        Ok(entries) => {
+            let mut ok = true;
+            let mut n = 0u32;
+            for path in entries.flatten().map(|e| e.path()) {
+                if !path.extension().is_some_and(|x| x == "toml" || x == "json") {
+                    continue;
+                }
+                n += 1;
+                let lowered = spec::RunSpec::load(&path)
+                    .map_err(|e| e.message().to_owned())
+                    .and_then(|s| s.lower());
+                if let Err(msg) = lowered {
+                    eprintln!("  {}: {msg}", path.display());
+                    ok = false;
+                }
+            }
+            c.check("specs: every checked-in spec lowers", ok && n > 0);
+        }
+        Err(_) => eprintln!("[no specs/ directory here — spec check skipped]"),
+    }
 
     println!(
         "\n{} checks failed [{:.0}s elapsed]",

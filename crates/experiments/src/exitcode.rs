@@ -10,6 +10,7 @@
 //! | 3 | success, but corrupt input was discarded and recomputed |
 //! | 4 | sweep finished with terminally failed cells / failed checks |
 //! | 5 | sweep failed and *every* failure was a watchdog timeout |
+//! | 6 | spec file declares an unsupported `spec_version` |
 //!
 //! Code 3 is the "degraded" contract: corrupt checkpoints, queue
 //! entries, cache entries, or result files never abort a run — they
@@ -35,6 +36,10 @@ pub const DEGRADED: u8 = 3;
 pub const FAILED_CELLS: u8 = 4;
 /// Every terminal failure was a watchdog timeout.
 pub const WATCHDOG: u8 = 5;
+/// A spec file declared a `spec_version` this build does not read —
+/// distinct from [`USAGE`] so automation can tell "regenerate or
+/// upgrade" apart from "fix your spec".
+pub const SPEC_VERSION: u8 = 6;
 
 /// Classifies a sweep that ended with terminally failed cells: when
 /// every failure class is `timeout` the whole run maps to [`WATCHDOG`]
@@ -66,11 +71,20 @@ mod tests {
         assert_eq!(DEGRADED, 3);
         assert_eq!(FAILED_CELLS, 4);
         assert_eq!(WATCHDOG, 5);
+        assert_eq!(SPEC_VERSION, 6);
     }
 
     #[test]
     fn codes_are_distinct() {
-        let all = [OK, FAILURE, USAGE, DEGRADED, FAILED_CELLS, WATCHDOG];
+        let all = [
+            OK,
+            FAILURE,
+            USAGE,
+            DEGRADED,
+            FAILED_CELLS,
+            WATCHDOG,
+            SPEC_VERSION,
+        ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);

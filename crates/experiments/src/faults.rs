@@ -99,6 +99,18 @@ impl Grid {
     pub fn cell_count(&self) -> usize {
         self.estimators.len() * self.benchmarks.len() * self.rates.len()
     }
+
+    /// Resolves a preset grid name (`full` | `small`) — the shared
+    /// vocabulary of the `repro` CLI, declarative specs, and the
+    /// experiment server's submit protocol.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(Self::full()),
+            "small" => Some(Self::small()),
+            _ => None,
+        }
+    }
 }
 
 /// One completed sweep cell.

@@ -24,6 +24,7 @@
 //! | `energy` | energy / energy×delay of gating (extension) | [`energy`] |
 //! | `faults` | resilience under fault injection (extension) | [`faults`] |
 //! | `sweep` | distributed (multi-process) fault sweep | [`distrib`] |
+//! | `run <spec>` | any of the above from a declarative spec file | [`spec`] |
 //!
 //! Long sweeps run their cells through [`runner::Runner`] (one cell
 //! at a time) or [`runner::Scheduler`] (`--jobs N` worker threads
@@ -56,6 +57,7 @@ pub mod latency;
 pub mod paper;
 pub mod runner;
 pub mod snapfile;
+pub mod spec;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1004,6 +1004,28 @@ impl Default for SchedulerConfig {
     }
 }
 
+impl SchedulerConfig {
+    /// The CLI shape: `jobs` worker threads, resuming from `dir` when
+    /// one is given and running without persistence — or a watchdog,
+    /// since a one-shot run has no checkpoint to fall back on — when
+    /// not. Shared by every `repro` subcommand that schedules cells,
+    /// so spec-driven and hard-coded runs build byte-identical
+    /// schedulers.
+    #[must_use]
+    pub fn for_run(jobs: usize, resume_dir: Option<&std::path::Path>) -> Self {
+        Self {
+            runner: resume_dir.map_or_else(
+                || RunnerConfig {
+                    timeout: None,
+                    ..RunnerConfig::default()
+                },
+                RunnerConfig::resuming,
+            ),
+            jobs,
+        }
+    }
+}
+
 /// The merged result of a parallel sweep: one [`CellReport`] per
 /// submitted cell, **in submission order** — byte-identical aggregate
 /// output no matter how many workers ran it or in what order cells

@@ -45,28 +45,70 @@ pub fn run_point(
     mean
 }
 
+/// The full JRS design-point sweep of the paper's Table 4:
+/// PL-major ({PL1, PL2, PL3}), λ over [`JRS_LAMBDAS`] within each PL.
+#[must_use]
+pub fn default_jrs_points() -> Vec<(u8, u32)> {
+    let mut points = Vec::with_capacity(3 * JRS_LAMBDAS.len());
+    for pl in [1u32, 2, 3] {
+        for &l in &JRS_LAMBDAS {
+            points.push((l, pl));
+        }
+    }
+    points
+}
+
+/// The perceptron threshold sweep of the paper's Table 4 (all at PL1).
+#[must_use]
+pub fn default_perceptron_lambdas() -> Vec<i32> {
+    PERCEPTRON_LAMBDAS.to_vec()
+}
+
 /// Runs the Table 4 experiment on the deep (40-cycle) pipeline.
 #[must_use]
 pub fn run(scale: Scale) -> Table4 {
-    let baselines = BaselineSet::build(PredictorKind::BimodalGshare, PipelineConfig::deep(), scale);
-    let mut jrs_rows = Vec::new();
-    for pl in [1u32, 2, 3] {
-        for &l in &JRS_LAMBDAS {
-            jrs_rows.push(Table4Row {
-                lambda: i32::from(l),
-                pl,
-                outcome: run_point(&baselines, &|| jrs(l), pl),
-            });
-        }
-    }
-    let mut perc_rows = Vec::new();
-    for &l in &PERCEPTRON_LAMBDAS {
-        perc_rows.push(Table4Row {
+    run_points(
+        scale,
+        crate::common::benchmarks(),
+        &default_jrs_points(),
+        &default_perceptron_lambdas(),
+    )
+}
+
+/// Runs an explicit set of Table 4 design points over an explicit
+/// benchmark list (declarative specs, reduced-scale golden tests).
+/// JRS points are (λ, PL) pairs evaluated in the given order;
+/// perceptron thresholds all run at PL1 as in the paper.
+/// [`run`] is exactly this with the paper's default point lists.
+#[must_use]
+pub fn run_points(
+    scale: Scale,
+    benchmarks: Vec<perconf_workload::WorkloadConfig>,
+    jrs_points: &[(u8, u32)],
+    perceptron_lambdas: &[i32],
+) -> Table4 {
+    let baselines = BaselineSet::build_on(
+        PredictorKind::BimodalGshare,
+        PipelineConfig::deep(),
+        scale,
+        benchmarks,
+    );
+    let jrs_rows = jrs_points
+        .iter()
+        .map(|&(l, pl)| Table4Row {
+            lambda: i32::from(l),
+            pl,
+            outcome: run_point(&baselines, &|| jrs(l), pl),
+        })
+        .collect();
+    let perc_rows = perceptron_lambdas
+        .iter()
+        .map(|&l| Table4Row {
             lambda: l,
             pl: 1,
             outcome: run_point(&baselines, &|| perceptron(l), 1),
-        });
-    }
+        })
+        .collect();
     Table4 {
         jrs: jrs_rows,
         perceptron: perc_rows,

@@ -177,6 +177,89 @@ fn fig8_combo_matches_golden() {
     assert_matches_golden("fig8_combo_tiny.json", &reduced_fig8());
 }
 
+// ---------------------------------------------------------------- //
+// Spec pinning: the checked-in `specs/*.toml` files must lower to
+// exactly the golden-protected experiments. A drift in either the
+// spec or the lowering shows up as a golden mismatch here.
+// ---------------------------------------------------------------- //
+
+fn load_spec(name: &str) -> perconf_experiments::spec::Lowered {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../specs")
+        .join(name);
+    perconf_experiments::spec::RunSpec::load(&path)
+        .unwrap_or_else(|e| panic!("{name} parses: {}", e.message()))
+        .lower()
+        .unwrap_or_else(|e| panic!("{name} lowers: {e}"))
+}
+
+#[test]
+fn table2_spec_lowers_to_the_golden_experiment() {
+    use perconf_experiments::spec::Lowered;
+    let Lowered::Table2 { scale, benchmarks } = load_spec("table2_reduced.toml") else {
+        panic!("table2_reduced.toml must lower to Table2");
+    };
+    assert_eq!(scale, Scale::tiny());
+    assert_matches_golden("table2_tiny.json", &table2::run_on(scale, &benchmarks));
+}
+
+#[test]
+fn table4_spec_lowers_to_the_golden_experiment() {
+    use perconf_experiments::spec::Lowered;
+    let Lowered::Table4 {
+        scale,
+        benchmarks,
+        jrs_points,
+        perceptron_lambdas,
+    } = load_spec("table4_reduced.toml")
+    else {
+        panic!("table4_reduced.toml must lower to Table4");
+    };
+    assert_eq!(jrs_points, vec![(7, 1), (7, 2)]);
+    assert_eq!(perceptron_lambdas, vec![0, -25]);
+    assert_matches_golden(
+        "table4_tiny.json",
+        &perconf_experiments::table4::run_points(
+            scale,
+            benchmarks,
+            &jrs_points,
+            &perceptron_lambdas,
+        ),
+    );
+}
+
+#[test]
+fn fig8_spec_lowers_to_the_golden_experiment() {
+    use perconf_experiments::spec::Lowered;
+    let Lowered::Fig89 {
+        machine,
+        scale,
+        benchmarks,
+        ..
+    } = load_spec("fig8_reduced.toml")
+    else {
+        panic!("fig8_reduced.toml must lower to Fig89");
+    };
+    assert!(matches!(machine, fig89::Machine::Deep));
+    assert_matches_golden(
+        "fig8_combo_tiny.json",
+        &fig89::run_on(machine, scale, benchmarks),
+    );
+}
+
+#[test]
+fn faults_specs_lower_to_the_named_presets() {
+    use perconf_experiments::{faults, spec::Lowered};
+    let Lowered::Faults { seed, grid, .. } = load_spec("faults_small.toml") else {
+        panic!("faults_small.toml must lower to Faults");
+    };
+    assert_eq!((seed, grid), (42, faults::Grid::small()));
+    let Lowered::Faults { seed, grid, .. } = load_spec("faults_full.toml") else {
+        panic!("faults_full.toml must lower to Faults");
+    };
+    assert_eq!((seed, grid), (42, faults::Grid::full()));
+}
+
 /// The comparator itself must reject perturbed values — a golden suite
 /// with a too-loose tolerance protects nothing.
 #[test]

@@ -1,0 +1,9 @@
+//! Fixture: `output-atomicity` must stay quiet — the binary stages
+//! its `fs::write` to a `tmp` sibling and renames into place.
+#![forbid(unsafe_code)]
+
+pub fn save(bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = std::path::Path::new("results/report.json.tmp");
+    std::fs::write(tmp, bytes)?;
+    std::fs::rename(tmp, "results/report.json")
+}

@@ -126,7 +126,11 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        if let Err(e) = std::fs::write(json, body + "\n") {
+        // Staged + renamed so a crash never leaves a torn report —
+        // the same discipline the output-atomicity rule enforces.
+        let tmp = json.with_extension("json.tmp");
+        let staged = std::fs::write(&tmp, body + "\n").and_then(|()| std::fs::rename(&tmp, json));
+        if let Err(e) = staged {
             eprintln!("perconf-lint: cannot write {}: {e}", json.display());
             return ExitCode::from(2);
         }

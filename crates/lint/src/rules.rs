@@ -363,6 +363,31 @@ pub fn unsafe_hygiene(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Inspects the parenthesised argument list starting at token `open`
+/// (which must be `(`): naming a `tmp`/`temp` sibling is the
+/// sanctioned staging idiom (a rename follows).
+fn stages_to_temp(t: &[crate::lexer::Tok], open: usize) -> bool {
+    if !t.get(open).is_some_and(|a| a.is_punct('(')) {
+        return false;
+    }
+    let mut j = open + 1;
+    let mut depth = 1;
+    while j < t.len() && depth > 0 {
+        if t[j].is_punct('(') {
+            depth += 1;
+        } else if t[j].is_punct(')') {
+            depth -= 1;
+        } else if t[j].kind == TokKind::Ident {
+            let lower = t[j].text.to_lowercase();
+            if lower.contains("tmp") || lower.contains("temp") {
+                return true;
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
 /// Runs `output-atomicity` over one file.
 pub fn output_atomicity(f: &SourceFile, out: &mut Vec<Finding>) {
     if matches!(f.scope, Scope::Vendor { .. }) {
@@ -370,34 +395,30 @@ pub fn output_atomicity(f: &SourceFile, out: &mut Vec<Finding>) {
     }
     let t = &f.toks;
     for i in 0..t.len() {
-        if !(t[i].is_ident("File")
-            && t.get(i + 1).is_some_and(|a| a.is_punct(':'))
-            && t.get(i + 2).is_some_and(|a| a.is_punct(':'))
-            && t.get(i + 3).is_some_and(|a| a.is_ident("create")))
-        {
-            continue;
-        }
-        // Inspect the argument list: creating a `tmp`/`temp` sibling
-        // is the sanctioned staging idiom (rename follows).
-        let mut staged = false;
-        if t.get(i + 4).is_some_and(|a| a.is_punct('(')) {
-            let mut j = i + 5;
-            let mut depth = 1;
-            while j < t.len() && depth > 0 {
-                if t[j].is_punct('(') {
-                    depth += 1;
-                } else if t[j].is_punct(')') {
-                    depth -= 1;
-                } else if t[j].kind == TokKind::Ident {
-                    let lower = t[j].text.to_lowercase();
-                    if lower.contains("tmp") || lower.contains("temp") {
-                        staged = true;
-                    }
-                }
-                j += 1;
-            }
-        }
-        if staged || f.allows(OUTPUT_ATOMICITY, t[i].line) {
+        let path_call = |head: &str, method: &str| {
+            t[i].is_ident(head)
+                && t.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && t.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && t.get(i + 3).is_some_and(|a| a.is_ident(method))
+        };
+        // `fs::write` is only policed in binaries: bins write the
+        // user-visible artifacts the byte-identity contract covers,
+        // while library/test code writes plenty of harmless scratch
+        // files the staging idiom would just bloat.
+        let (message, fires) = if path_call("File", "create") {
+            (
+                "direct `File::create` bypasses the temp+rename write path",
+                true,
+            )
+        } else if path_call("fs", "write") && f.rel.contains("/src/bin/") {
+            (
+                "direct `fs::write` in a binary bypasses the temp+rename write path",
+                true,
+            )
+        } else {
+            ("", false)
+        };
+        if !fires || stages_to_temp(t, i + 4) || f.allows(OUTPUT_ATOMICITY, t[i].line) {
             continue;
         }
         out.push(Finding {
@@ -405,7 +426,7 @@ pub fn output_atomicity(f: &SourceFile, out: &mut Vec<Finding>) {
             file: f.rel.clone(),
             line: t[i].line,
             col: t[i].col,
-            message: "direct `File::create` bypasses the temp+rename write path".to_owned(),
+            message: message.to_owned(),
             help: "artifacts (`.psnap`/`.pobs`/results) must be written through \
                    `experiments::snapfile::write` / `obs::pobs::write`, or staged to a \
                    `tmp` sibling and renamed; annotate \

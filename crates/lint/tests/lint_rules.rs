@@ -117,6 +117,37 @@ fn output_atomicity_quiet_on_clean_fixture() {
 }
 
 #[test]
+fn output_atomicity_fires_on_raw_fs_write_in_a_bin() {
+    let a = analyze_fixture("src/bin/atomicity_bin_firing.rs");
+    let atom: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::OUTPUT_ATOMICITY)
+        .collect();
+    assert_eq!(atom.len(), 1, "findings: {:?}", a.findings);
+    assert!(atom[0].message.contains("fs::write"), "{:?}", atom[0]);
+}
+
+#[test]
+fn output_atomicity_quiet_on_staged_fs_write_in_a_bin() {
+    let a = analyze_fixture("src/bin/atomicity_bin_clean.rs");
+    assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+}
+
+#[test]
+fn output_atomicity_ignores_fs_write_outside_bins() {
+    // The firing fixture's body is a library-path file here: the raw
+    // `fs::write` pattern only counts under a `/src/bin/` path.
+    let text = std::fs::read_to_string(fixture("src/bin/atomicity_bin_firing.rs")).unwrap();
+    let dir = std::env::temp_dir().join("perconf-lint-nonbin-fixture");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("atomicity_lib_copy.rs");
+    std::fs::write(&path, text).unwrap();
+    let a = analyze_paths(&[path], &Options::default()).unwrap();
+    assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+}
+
+#[test]
 fn rule_filter_restricts_output() {
     let opts = Options {
         rules: Some([rules::OUTPUT_ATOMICITY.to_owned()].into_iter().collect()),

@@ -62,6 +62,54 @@ impl ExperimentSpec {
     }
 }
 
+/// Translates a declarative experiment spec document
+/// (`perconf_experiments::spec`, TOML or JSON) into the server's
+/// [`ExperimentSpec`] — the submit-spec half of the line protocol.
+/// The server runs fault sweeps, so the document must have
+/// `experiment.kind = "faults"`, and (v1 restriction) its grid must
+/// equal one of the named presets the content-addressed cache is
+/// keyed on: the cache digests `spec-v1|seed|scale|grid-name`, so an
+/// arbitrary-axis grid has no cache identity yet.
+///
+/// # Errors
+///
+/// Returns the spec parser's `file:line`-quality message for a
+/// malformed document, and a usage-style message for a non-faults
+/// kind or a grid that matches no preset.
+pub fn spec_document_to_experiment(text: &str, format: &str) -> Result<ExperimentSpec, String> {
+    use perconf_experiments::spec::{Lowered, RunSpec};
+    let parsed = match format {
+        "toml" => RunSpec::parse_toml(text, "<submitted spec>"),
+        "json" => RunSpec::parse_json(text, "<submitted spec>"),
+        other => return Err(format!("unknown spec format `{other}` (toml|json)")),
+    }
+    .map_err(|e| e.message().to_owned())?;
+    let lowered = parsed
+        .lower()
+        .map_err(|e| format!("cannot lower spec: {e}"))?;
+    let Lowered::Faults { seed, grid, .. } = lowered else {
+        return Err(format!(
+            "the experiment server runs fault sweeps only: expected kind = \"faults\", got \
+             \"{}\" (run other kinds locally with `repro run`)",
+            parsed.experiment.kind
+        ));
+    };
+    let preset = ["full", "small"]
+        .iter()
+        .find(|name| faults::Grid::by_name(name).as_ref() == Some(&grid))
+        .ok_or_else(|| {
+            "spec v1 submissions must use a preset grid (`grid = \"full\"` or `\"small\"`): \
+             the server's result cache is keyed on preset names, so explicit axes have no \
+             cache identity yet"
+                .to_owned()
+        })?;
+    Ok(ExperimentSpec {
+        seed,
+        scale: parsed.experiment.scale,
+        grid: (*preset).to_owned(),
+    })
+}
+
 /// One client request line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -71,6 +119,21 @@ pub enum Request {
     Submit {
         /// What to run.
         spec: ExperimentSpec,
+        /// Arm one actor kill after the first computed cell.
+        chaos_kill: bool,
+    },
+    /// Submit a declarative experiment spec *document* (the
+    /// `perconf_experiments::spec` format, same file `repro run`
+    /// takes) instead of the compiled-in [`ExperimentSpec`] shape —
+    /// clients drive the server with data files, no recompile. The
+    /// server validates with the same strict parser and answers
+    /// [`Response::Accepted`] / [`Response::Error`] exactly like
+    /// [`Request::Submit`].
+    SubmitSpec {
+        /// The spec document text (not a path — the file's contents).
+        spec: String,
+        /// `toml` or `json`.
+        format: String,
         /// Arm one actor kill after the first computed cell.
         chaos_kill: bool,
     },
@@ -213,11 +276,41 @@ mod tests {
     }
 
     #[test]
+    fn spec_documents_translate_to_preset_experiments() {
+        let doc = "spec_version = 1\n\n[experiment]\nkind = \"faults\"\nscale = \"tiny\"\n\
+                   seed = 7\n\n[faults]\ngrid = \"small\"\n";
+        let exp = spec_document_to_experiment(doc, "toml").unwrap();
+        assert_eq!(exp, spec());
+
+        let json = r#"{"spec_version":1,"experiment":{"kind":"faults","scale":"tiny","seed":7},"faults":{"grid":"full"}}"#;
+        let exp = spec_document_to_experiment(json, "json").unwrap();
+        assert_eq!(exp.grid, "full");
+
+        // Non-faults kinds and non-preset grids are rejected with a
+        // reason, not a panic; so are unknown formats.
+        let t2 = "spec_version = 1\n\n[experiment]\nkind = \"table2\"\n";
+        assert!(spec_document_to_experiment(t2, "toml")
+            .unwrap_err()
+            .contains("faults"));
+        let axes = "spec_version = 1\n\n[experiment]\nkind = \"faults\"\n\n[faults]\n\
+                    estimators = [\"jrs\"]\nbenchmarks = [\"gcc\"]\nrates = [0.01]\n";
+        assert!(spec_document_to_experiment(axes, "toml")
+            .unwrap_err()
+            .contains("preset"));
+        assert!(spec_document_to_experiment(doc, "yaml").is_err());
+    }
+
+    #[test]
     fn requests_and_responses_round_trip_as_json_lines() {
         let reqs = [
             Request::Submit {
                 spec: spec(),
                 chaos_kill: false,
+            },
+            Request::SubmitSpec {
+                spec: "[experiment]\nkind = \"faults\"\n".into(),
+                format: "toml".into(),
+                chaos_kill: true,
             },
             Request::Status { id: "x-0".into() },
             Request::Result { id: "x-0".into() },

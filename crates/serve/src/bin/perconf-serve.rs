@@ -5,8 +5,9 @@
 //! perconf-serve run    [--state <dir>] [--addr <ip:port>] [--queue <n>]
 //!                      [--actors <n>] [--jobs <n>] [--restarts <n>]
 //!                      [--watchdog <secs>] [--cell-timeout <secs>]
-//! perconf-serve submit [--state <dir> | --addr <ip:port>] --seed <n>
-//!                      [--tiny | --full] [--grid small|full]
+//! perconf-serve submit [--state <dir> | --addr <ip:port>]
+//!                      (--spec <file.toml|file.json> |
+//!                       --seed <n> [--tiny | --full] [--grid small|full])
 //!                      [--json <dir>] [--chaos kill] [--no-wait]
 //! perconf-serve status --id <id>  [--state <dir> | --addr <ip:port>]
 //! perconf-serve stats             [--state <dir> | --addr <ip:port>]
@@ -16,9 +17,12 @@
 //!
 //! `repro serve` / `repro submit` delegate here, so the flag spelling
 //! mirrors `repro faults` (`--seed`, `--tiny`/`--full`, `--grid`,
-//! `--json`). A waited `submit` writes the same `faults.json` bytes a
-//! one-shot `repro faults` run would, and exits through the shared
-//! taxonomy in `perconf_experiments::exitcode`.
+//! `--json`). `submit --spec <file>` sends a declarative experiment
+//! spec document (the same format `repro run` takes) over the wire
+//! instead, replacing the knob flags. A waited `submit` writes the
+//! same `faults.json` bytes a one-shot `repro faults` run would, and
+//! exits through the shared taxonomy in
+//! `perconf_experiments::exitcode`.
 
 #![forbid(unsafe_code)]
 // Supervision timing (watchdogs, drain deadlines) is wall-clock by nature
@@ -26,7 +30,7 @@
 #![allow(clippy::disallowed_methods)]
 
 use perconf_experiments::exitcode;
-use perconf_serve::api::{ExperimentSpec, Request, Response};
+use perconf_serve::api::{spec_document_to_experiment, ExperimentSpec, Request, Response};
 use perconf_serve::protocol;
 use perconf_serve::server::{Server, ServerConfig};
 use std::io::BufReader;
@@ -68,8 +72,9 @@ fn usage() {
         "usage: perconf-serve run [--state <dir>] [--addr <ip:port>] [--queue <n>]\n\
          \x20                        [--actors <n>] [--jobs <n>] [--restarts <n>]\n\
          \x20                        [--watchdog <secs>] [--cell-timeout <secs>]\n\
-         \x20      perconf-serve submit [--state <dir> | --addr <ip:port>] --seed <n>\n\
-         \x20                        [--tiny | --full] [--grid small|full]\n\
+         \x20      perconf-serve submit [--state <dir> | --addr <ip:port>]\n\
+         \x20                        (--spec <file.toml|file.json> |\n\
+         \x20                         --seed <n> [--tiny | --full] [--grid small|full])\n\
          \x20                        [--json <dir>] [--chaos kill] [--no-wait]\n\
          \x20      perconf-serve status --id <id> [--state <dir> | --addr <ip:port>]\n\
          \x20      perconf-serve stats|ping|shutdown [--state <dir> | --addr <ip:port>]"
@@ -316,8 +321,7 @@ fn cmd_status(argv: &[String]) -> u8 {
 // -------------------------------------------------------------- submit
 
 struct SubmitArgs {
-    spec: ExperimentSpec,
-    chaos_kill: bool,
+    request: Request,
     json_dir: Option<PathBuf>,
     wait: bool,
     addr: Option<String>,
@@ -326,41 +330,85 @@ struct SubmitArgs {
 
 fn parse_submit(argv: &[String]) -> Result<SubmitArgs, String> {
     let (addr, state, rest) = split_conn_flags(argv)?;
-    let mut args = SubmitArgs {
-        spec: ExperimentSpec {
-            seed: 42,
-            scale: "quick".to_owned(),
-            grid: "small".to_owned(),
-        },
-        chaos_kill: false,
-        json_dir: None,
-        wait: true,
-        addr,
-        state,
+    let mut spec = ExperimentSpec {
+        seed: 42,
+        scale: "quick".to_owned(),
+        grid: "small".to_owned(),
     };
+    let mut spec_file: Option<PathBuf> = None;
+    let mut knob_flags = false;
+    let mut chaos_kill = false;
+    let mut json_dir = None;
+    let mut wait = true;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--seed" => args.spec.seed = parse_num("--seed", &take_value(&rest, &mut i)?)?,
-            "--tiny" => args.spec.scale = "tiny".to_owned(),
-            "--full" => args.spec.scale = "full".to_owned(),
-            "--grid" => args.spec.grid = take_value(&rest, &mut i)?,
-            "--json" => args.json_dir = Some(PathBuf::from(take_value(&rest, &mut i)?)),
+            "--spec" => spec_file = Some(PathBuf::from(take_value(&rest, &mut i)?)),
+            "--seed" => {
+                spec.seed = parse_num("--seed", &take_value(&rest, &mut i)?)?;
+                knob_flags = true;
+            }
+            "--tiny" => {
+                spec.scale = "tiny".to_owned();
+                knob_flags = true;
+            }
+            "--full" => {
+                spec.scale = "full".to_owned();
+                knob_flags = true;
+            }
+            "--grid" => {
+                spec.grid = take_value(&rest, &mut i)?;
+                knob_flags = true;
+            }
+            "--json" => json_dir = Some(PathBuf::from(take_value(&rest, &mut i)?)),
             "--chaos" => {
                 let mode = take_value(&rest, &mut i)?;
                 if mode != "kill" {
                     return Err(format!("unknown chaos mode `{mode}` (kill)"));
                 }
-                args.chaos_kill = true;
+                chaos_kill = true;
             }
-            "--no-wait" => args.wait = false,
+            "--no-wait" => wait = false,
             other => return Err(format!("unknown flag `{other}` for submit")),
         }
         i += 1;
     }
-    // Reject what the server would reject, before connecting.
-    args.spec.resolve()?;
-    Ok(args)
+    let request = match spec_file {
+        Some(path) => {
+            if knob_flags {
+                return Err(
+                    "--spec replaces --seed/--tiny/--full/--grid (the file carries them)"
+                        .to_owned(),
+                );
+            }
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let format = if path.extension().is_some_and(|e| e == "json") {
+                "json"
+            } else {
+                "toml"
+            };
+            // Reject what the server would reject, before connecting.
+            spec_document_to_experiment(&text, format)?;
+            Request::SubmitSpec {
+                spec: text,
+                format: format.to_owned(),
+                chaos_kill,
+            }
+        }
+        None => {
+            // Reject what the server would reject, before connecting.
+            spec.resolve()?;
+            Request::Submit { spec, chaos_kill }
+        }
+    };
+    Ok(SubmitArgs {
+        request,
+        json_dir,
+        wait,
+        addr,
+        state,
+    })
 }
 
 fn cmd_submit(argv: &[String]) -> u8 {
@@ -386,11 +434,7 @@ fn cmd_submit(argv: &[String]) -> u8 {
             return exitcode::FAILURE;
         }
     };
-    let submit = Request::Submit {
-        spec: args.spec.clone(),
-        chaos_kill: args.chaos_kill,
-    };
-    let id = match conn.roundtrip(&submit) {
+    let id = match conn.roundtrip(&args.request) {
         Ok(Response::Accepted { id, deduped }) => {
             eprintln!(
                 "submitted {id}{}",
@@ -498,10 +542,13 @@ fn wait_and_fetch(conn: &mut Conn, id: &str, json_dir: Option<&Path>) -> u8 {
 
 /// Writes the result table exactly as `repro`'s `save_json` would:
 /// pretty JSON, no trailing newline — the byte-identity contract the
-/// chaos harness diffs against.
+/// chaos harness diffs against. Staged through a temp file and
+/// renamed, so a crash mid-write never leaves a torn `faults.json`.
 fn write_table(dir: &Path, table: &serde::Value) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let body = serde_json::to_string_pretty(table)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    std::fs::write(dir.join("faults.json"), body)
+    let tmp = dir.join("faults.json.tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, dir.join("faults.json"))
 }

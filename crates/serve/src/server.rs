@@ -16,7 +16,7 @@
 //!   the `unsafe` signal plumbing out of this crate so the crate root
 //!   can `#![forbid(unsafe_code)]`.
 
-use crate::api::{Request, Response};
+use crate::api::{self, Request, Response};
 use crate::protocol;
 use crate::supervisor::{Submitted, Supervisor, SupervisorConfig};
 use std::io::BufReader;
@@ -203,6 +203,18 @@ fn handle_request(req: &Request, sup: &Supervisor, stop: &Arc<AtomicBool>) -> Re
             Submitted::Accepted { id, deduped } => Response::Accepted { id, deduped },
             Submitted::Busy { reason } => Response::Busy { reason },
             Submitted::Invalid { reason } => Response::Error { message: reason },
+        },
+        Request::SubmitSpec {
+            spec,
+            format,
+            chaos_kill,
+        } => match api::spec_document_to_experiment(spec, format) {
+            Ok(exp) => match sup.submit(&exp, *chaos_kill) {
+                Submitted::Accepted { id, deduped } => Response::Accepted { id, deduped },
+                Submitted::Busy { reason } => Response::Busy { reason },
+                Submitted::Invalid { reason } => Response::Error { message: reason },
+            },
+            Err(message) => Response::Error { message },
         },
         Request::Status { id } => match sup.status(id) {
             Some(e) => Response::Status {
